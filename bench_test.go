@@ -1,0 +1,195 @@
+package dedupstore_test
+
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation (ICDCS'18 §2.2 and §6). Each benchmark regenerates its
+// experiment on the simulated testbed at a reduced scale and reports the
+// shape-defining quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. For full-scale tables with paper-vs-
+// measured columns, run `go run ./cmd/dedupbench all`.
+
+import (
+	"testing"
+
+	"dedupstore/internal/experiments"
+)
+
+var benchScale = experiments.QuickScale()
+
+func BenchmarkFig3DedupRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3(benchScale)
+		if i == 0 {
+			for _, r := range rows {
+				if r.Workload == "FIO dedup 50%" {
+					b.ReportMetric(r.Local, "fio50-local-%")
+					b.ReportMetric(r.Global, "fio50-global-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable1LocalRatioCollapse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(benchScale)
+		if i == 0 && len(rows) == 4 {
+			b.ReportMetric(rows[0].Local, "local-4osd-%")
+			b.ReportMetric(rows[3].Local, "local-16osd-%")
+			b.ReportMetric(rows[3].Global, "global-16osd-%")
+		}
+	}
+}
+
+func BenchmarkFig5aPartialWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5a(benchScale)
+		if i == 0 && len(rows) == 3 {
+			b.ReportMetric(rows[0].Throughput, "original-MBps")
+			b.ReportMetric(rows[1].Throughput, "inline16k-MBps")
+			b.ReportMetric(rows[0].Throughput/rows[1].Throughput, "slowdown-x")
+		}
+	}
+}
+
+func BenchmarkFig5bInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5b(benchScale)
+		if i == 0 {
+			b.ReportMetric(r.SteadyBefore, "before-MBps")
+			b.ReportMetric(r.SteadyAfter, "after-MBps")
+		}
+	}
+}
+
+func BenchmarkFig10SmallRandom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig10(benchScale)
+		if i == 0 {
+			for _, r := range rows {
+				if r.Op == "randwrite" {
+					switch r.Config {
+					case "Original":
+						b.ReportMetric(float64(r.Latency.Microseconds()), "orig-write-us")
+					case "Proposed":
+						b.ReportMetric(float64(r.Latency.Microseconds()), "prop-write-us")
+					case "Proposed-flush":
+						b.ReportMetric(float64(r.Latency.Microseconds()), "flush-write-us")
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig11Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig11(benchScale)
+		if i == 0 {
+			for _, r := range rows {
+				if r.Op == "read" && r.BlockSize == 32<<10 {
+					switch r.Config {
+					case "Original":
+						b.ReportMetric(r.Throughput, "orig-read32k-MBps")
+					case "Proposed":
+						b.ReportMetric(r.Throughput, "prop-read32k-MBps")
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable2ChunkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(benchScale)
+		if i == 0 && len(rows) == 3 {
+			b.ReportMetric(rows[0].ActualRatio, "actual16k-%")
+			b.ReportMetric(rows[2].ActualRatio, "actual64k-%")
+			b.ReportMetric(float64(rows[0].StoredMetadata)/float64(rows[2].StoredMetadata), "meta16k/64k-x")
+		}
+	}
+}
+
+func BenchmarkFig12SFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12(benchScale)
+		if i == 0 && len(rows) == 4 {
+			b.ReportMetric(float64(rows[0].MeanLatency.Microseconds()), "rep-lat-us")
+			b.ReportMetric(float64(rows[1].MeanLatency.Microseconds()), "prop-lat-us")
+			b.ReportMetric(float64(rows[2].MeanLatency.Microseconds()), "ec-lat-us")
+			b.ReportMetric(float64(rows[0].StorageUsed)/float64(rows[1].StorageUsed), "storage-saving-x")
+		}
+	}
+}
+
+func BenchmarkTable3Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(benchScale)
+		if i == 0 && len(rows) == 3 {
+			b.ReportMetric(rows[0].ProposedSecs/rows[0].OriginalSecs, "prop/orig-1osd")
+			b.ReportMetric(rows[2].ProposedSecs/rows[2].OriginalSecs, "prop/orig-4osd")
+		}
+	}
+}
+
+func BenchmarkFig13VMImages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig13(benchScale)
+		if i == 0 {
+			for _, s := range series {
+				last := s.UsedBytes[len(s.UsedBytes)-1]
+				switch s.Label {
+				case "rep":
+					b.ReportMetric(float64(last)/1e6, "rep-MB")
+				case "rep+dedup":
+					b.ReportMetric(float64(last)/1e6, "rep+dedup-MB")
+				case "ec+dedup+comp":
+					b.ReportMetric(float64(last)/1e6, "ec+dedup+comp-MB")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig14RateControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.Fig14(benchScale)
+		if i == 0 && len(rs) == 3 {
+			b.ReportMetric(rs[0].SteadyAfter, "ideal-MBps")
+			b.ReportMetric(rs[1].SteadyAfter, "nocontrol-MBps")
+			b.ReportMetric(rs[2].SteadyAfter, "control-MBps")
+		}
+	}
+}
+
+func BenchmarkAblationChunking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationChunking(benchScale)
+		if i == 0 && len(rows) == 2 {
+			b.ReportMetric(rows[0].DedupRatio, "fixed-ratio-%")
+			b.ReportMetric(rows[1].DedupRatio, "cdc-ratio-%")
+		}
+	}
+}
+
+func BenchmarkAblationRefcount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationRefcount(benchScale)
+		if i == 0 && len(rows) == 2 {
+			b.ReportMetric(float64(rows[1].ChunksLeaked), "fp-chunks-pre-gc")
+		}
+	}
+}
+
+func BenchmarkAblationCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationCache(benchScale)
+		if i == 0 && len(rows) == 2 {
+			b.ReportMetric(float64(rows[0].FlushedBytes)/1e6, "cacheon-flushed-MB")
+			b.ReportMetric(float64(rows[1].FlushedBytes)/1e6, "cacheoff-flushed-MB")
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command dedupbench regenerates every table and figure of the paper's
+// evaluation on the simulated testbed and prints paper-vs-measured tables.
+//
+// Usage:
+//
+//	dedupbench [-scale f] [experiment ...]
+//
+// Experiments: fig3 table1 fig5a fig5b fig10 fig11 table2 fig12 table3
+// fig13 fig14 ablation (or "all", the default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dedupstore/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default scaled sizes; <1 faster)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	sc := experiments.Scale{Data: *scale}
+
+	runners := map[string]func(experiments.Scale) []experiments.Table{
+		"fig3": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Fig3Table(experiments.Fig3(sc))}
+		},
+		"table1": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Table1Table(experiments.Table1(sc))}
+		},
+		"fig5a": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Fig5aTable(experiments.Fig5a(sc))}
+		},
+		"fig5b": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Fig5bTable(experiments.Fig5b(sc))}
+		},
+		"fig10": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Fig10Table(experiments.Fig10(sc))}
+		},
+		"fig11": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Fig11Table(experiments.Fig11(sc))}
+		},
+		"table2": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Table2Table(experiments.Table2(sc))}
+		},
+		"fig12": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Fig12Table(experiments.Fig12(sc))}
+		},
+		"table3": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Table3Table(experiments.Table3(sc))}
+		},
+		"fig13": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Fig13Table(experiments.Fig13(sc))}
+		},
+		"fig14": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{experiments.Fig14Table(experiments.Fig14(sc))}
+		},
+		"ablation": func(sc experiments.Scale) []experiments.Table {
+			return []experiments.Table{
+				experiments.AblationChunkingTable(experiments.AblationChunking(sc)),
+				experiments.AblationCDCStoreTable(experiments.AblationCDCStore(sc)),
+				experiments.AblationBackupTable(experiments.AblationBackup(sc)),
+				experiments.AblationRefcountTable(experiments.AblationRefcount(sc)),
+				experiments.AblationCacheTable(experiments.AblationCache(sc)),
+			}
+		},
+	}
+	order := []string{"fig3", "table1", "fig5a", "fig5b", "fig10", "fig11", "table2", "fig12", "table3", "fig13", "fig14", "ablation"}
+
+	if *list {
+		fmt.Println(strings.Join(order, " "))
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = order
+	}
+	sort.SliceStable(names, func(i, j int) bool { return indexOf(order, names[i]) < indexOf(order, names[j]) })
+
+	for _, name := range names {
+		runner, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dedupbench: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		for _, tab := range runner(sc) {
+			fmt.Print(tab)
+		}
+		fmt.Printf("[%s completed in %s wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func indexOf(order []string, name string) int {
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return len(order)
+}

@@ -1,0 +1,236 @@
+// Command dedupctl is an inspection and administration tool for the
+// simulated dedup store: it builds a cluster, loads a dataset (synthetic or
+// from a block trace), and then runs admin actions — df, status, deep
+// scrub, bit-rot injection + repair, GC, cold eviction — printing what a
+// storage operator would see.
+//
+// Usage:
+//
+//	dedupctl [flags] <action>...
+//
+// Actions: status df scrub corrupt repair gc evict verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dedupstore"
+	"dedupstore/internal/chunker"
+	"dedupstore/internal/store"
+	"dedupstore/internal/workload"
+)
+
+type ctl struct {
+	world *dedupstore.World
+	store *dedupstore.Store
+	dev   *dedupstore.BlockDevice
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		size     = flag.Int64("size", 16<<20, "device size in bytes")
+		dedupPct = flag.Float64("dedup", 50, "synthetic content dedup percentage")
+		chunkKB  = flag.Int64("chunk", 32, "chunk size in KiB")
+		useCDC   = flag.Bool("cdc", false, "use content-defined chunking")
+		fpRefs   = flag.Bool("fp-refs", false, "false-positive refcount mode (requires gc)")
+		traceIn  = flag.String("trace", "", "replay this block trace instead of synthetic fill")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df scrub corrupt repair gc evict verify\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	actions := flag.Args()
+	if len(actions) == 0 {
+		actions = []string{"status", "df"}
+	}
+
+	c := &ctl{world: dedupstore.NewWorld(*seed)}
+	cfg := dedupstore.DefaultConfig()
+	cfg.ChunkSize = *chunkKB << 10
+	cfg.Rate.Enabled = false
+	cfg.HitSet.HitCount = 1000
+	cfg.DedupThreads = 8
+	cfg.FalsePositiveRefs = *fpRefs
+	if *useCDC {
+		cdc := chunker.NewCDC(cfg.ChunkSize/4, cfg.ChunkSize, cfg.ChunkSize*4)
+		cfg.CDC = &cdc
+	}
+	s, err := dedupstore.OpenStore(c.world.Cluster, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.store = s
+	c.dev, err = dedupstore.NewBlockDevice("vol", *size, 1<<20, s.Client("ctl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c.load(*traceIn, *size, *dedupPct)
+
+	for _, action := range actions {
+		fmt.Printf("--- %s ---\n", action)
+		switch action {
+		case "status":
+			c.status()
+		case "df":
+			c.df()
+		case "scrub":
+			c.scrub(false)
+		case "repair":
+			c.scrub(true)
+		case "corrupt":
+			c.corrupt()
+		case "gc":
+			c.gc()
+		case "evict":
+			c.evict()
+		case "verify":
+			c.verify()
+		default:
+			log.Fatalf("dedupctl: unknown action %q", action)
+		}
+	}
+}
+
+// load fills the store and deduplicates it.
+func (c *ctl) load(tracePath string, size int64, dedupPct float64) {
+	c.world.Run(func(p *dedupstore.Proc) {
+		if tracePath != "" {
+			f, err := os.Open(tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			ops, err := workload.ParseTrace(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := workload.ReplayTrace(p, c.dev, ops, 0, 16)
+			fmt.Printf("replayed %d trace ops (%d errors) in %v virtual\n",
+				res.Reads.Lat.Count()+res.Writes.Lat.Count(), res.Errors, res.Elapsed)
+		} else {
+			res := workload.RunFIO(p, c.dev, workload.FIOConfig{
+				BlockSize: 64 << 10, Span: size, Pattern: workload.SeqWrite,
+				DedupPct: dedupPct, Threads: 8, IODepth: 4, Seed: 3,
+			})
+			if res.Errors > 0 {
+				log.Fatalf("load: %d errors", res.Errors)
+			}
+			fmt.Printf("loaded %.1f MB synthetic data (dedup %.0f%%) at %.0f MB/s virtual\n",
+				float64(size)/1e6, dedupPct, res.Throughput())
+		}
+		c.store.Engine().DrainAndWait(p)
+	})
+}
+
+func (c *ctl) status() {
+	cl := c.world.Cluster
+	fmt.Printf("cluster: %d hosts, %d OSDs, epoch %d\n", cl.HostCount(), len(cl.OSDs()), cl.Map().Epoch)
+	st := c.store.Engine().Stats()
+	fmt.Printf("engine: %d objects scanned, %d chunks flushed (%.1f MB), %d duplicate hits, %d requeues\n",
+		st.ObjectsScanned, st.ChunksFlushed, float64(st.BytesFlushed)/1e6, st.DupChunks, st.Requeued)
+	skipped, kept, evicted := c.store.Cache().Stats()
+	fmt.Printf("cache: %d hot skips, %d kept cached, %d evicted cold\n", skipped, kept, evicted)
+	fmt.Printf("virtual time: %v\n", c.world.Engine.Now())
+}
+
+func (c *ctl) df() {
+	cl := c.world.Cluster
+	meta := cl.PoolStats(c.store.MetaPool())
+	chunk := cl.PoolStats(c.store.ChunkPool())
+	fmt.Printf("%-10s %10s %14s %14s %14s\n", "pool", "objects", "logical", "stored-data", "stored-meta")
+	fmt.Printf("%-10s %10d %11.2f MB %11.2f MB %11.2f MB\n", meta.Name, meta.Objects,
+		float64(meta.LogicalBytes)/1e6, float64(meta.StoredPhysical)/1e6, float64(meta.StoredMetadata)/1e6)
+	fmt.Printf("%-10s %10d %11.2f MB %11.2f MB %11.2f MB\n", chunk.Name, chunk.Objects,
+		float64(chunk.LogicalBytes)/1e6, float64(chunk.StoredPhysical)/1e6, float64(chunk.StoredMetadata)/1e6)
+	total := meta.StoredTotal() + chunk.StoredTotal()
+	logical := meta.LogicalBytes
+	fmt.Printf("raw stored %.2f MB for %.2f MB logical", float64(total)/1e6, float64(logical)/1e6)
+	if logical > 0 {
+		overhead := c.store.Config().MetaRedundancy.Overhead()
+		fmt.Printf(" -> %.1f%% saved vs %gx replication", 100*(1-float64(total)/(overhead*float64(logical))), overhead)
+	}
+	fmt.Println()
+}
+
+func (c *ctl) scrub(repair bool) {
+	c.world.Run(func(p *dedupstore.Proc) {
+		for _, pool := range []*dedupstore.Pool{c.store.MetaPool(), c.store.ChunkPool()} {
+			stats := c.world.Cluster.Scrub(p, pool, repair)
+			fmt.Printf("pool %s: %d objects, %.1f MB scanned, %d inconsistencies, %d repaired\n",
+				pool.Name, stats.Objects, float64(stats.BytesScanned)/1e6, len(stats.Errors), stats.Repaired)
+			for i, e := range stats.Errors {
+				if i >= 5 {
+					fmt.Printf("  ... %d more\n", len(stats.Errors)-5)
+					break
+				}
+				fmt.Printf("  %s\n", e)
+			}
+		}
+	})
+}
+
+// corrupt injects bit rot into the first chunk object found (for demos).
+func (c *ctl) corrupt() {
+	chunkPool := c.store.ChunkPool()
+	oids := c.world.Cluster.ListObjects(chunkPool)
+	if len(oids) == 0 {
+		fmt.Println("no chunk objects to corrupt")
+		return
+	}
+	oid := oids[0]
+	for _, osd := range c.world.Cluster.OSDs() {
+		st, _ := c.world.Cluster.OSDStore(osd)
+		key := store.Key{Pool: chunkPool.ID, OID: oid}
+		if st.Exists(key) {
+			if err := c.world.Cluster.CorruptForTest(osd, key, 0); err == nil {
+				fmt.Printf("flipped a byte of %s on osd.%d\n", oid[:16]+"...", osd)
+				return
+			}
+		}
+	}
+}
+
+func (c *ctl) gc() {
+	c.world.Run(func(p *dedupstore.Proc) {
+		stats, err := c.store.GC(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("gc: %d chunks scanned, %d refs checked, %d stale, %d chunks deleted (%.2f MB reclaimed)\n",
+			stats.ChunksScanned, stats.RefsChecked, stats.StaleRefs, stats.ChunksDeleted, float64(stats.BytesReclaimed)/1e6)
+	})
+}
+
+func (c *ctl) evict() {
+	c.world.Run(func(p *dedupstore.Proc) {
+		p.Sleep(10 * time.Second) // let hotness decay
+		stats := c.store.Engine().EvictCold(p)
+		fmt.Printf("evict: %d objects scanned, %d chunks (%.2f MB) demoted, %d still hot\n",
+			stats.ObjectsScanned, stats.ChunksEvicted, float64(stats.BytesEvicted)/1e6, stats.SkippedHot)
+	})
+}
+
+func (c *ctl) verify() {
+	c.world.Run(func(p *dedupstore.Proc) {
+		rep, err := c.store.Scrub(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dedup scrub: %d metadata objects, %d chunks, %.1f MB verified, %d issues\n",
+			rep.MetadataObjects, rep.ChunkObjects, float64(rep.BytesVerified)/1e6, len(rep.Issues))
+		for i, is := range rep.Issues {
+			if i >= 5 {
+				fmt.Printf("  ... %d more\n", len(rep.Issues)-5)
+				break
+			}
+			fmt.Printf("  %s: %s\n", is.OID, is.Detail)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package dedupstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dedupstore"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end: cluster, store,
+// client writes/reads, background dedup, and space accounting.
+func TestPublicAPIQuickstart(t *testing.T) {
+	world := dedupstore.NewWorld(42)
+	cfg := dedupstore.DefaultConfig()
+	cfg.Rate.Enabled = false
+	cfg.HitSet.HitCount = 1000
+	store, err := dedupstore.OpenStore(world.Cluster, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.StartEngine()
+	client := store.Client("test")
+
+	golden := make([]byte, 128<<10)
+	rand.New(rand.NewSource(1)).Read(golden)
+	world.Run(func(p *dedupstore.Proc) {
+		for i := 0; i < 5; i++ {
+			if err := client.Write(p, fmt.Sprintf("obj-%d", i), 0, golden); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	world.Run(func(p *dedupstore.Proc) { store.Engine().DrainAndWait(p) })
+
+	chunk := world.Cluster.PoolStats(store.ChunkPool())
+	if chunk.LogicalBytes != int64(len(golden)) {
+		t.Fatalf("chunk pool holds %d bytes, want %d (identical objects must dedup)", chunk.LogicalBytes, len(golden))
+	}
+	world.Run(func(p *dedupstore.Proc) {
+		got, err := client.Read(p, "obj-2", 0, -1)
+		if err != nil || !bytes.Equal(got, golden) {
+			t.Fatalf("read back: %v", err)
+		}
+	})
+}
+
+// TestPublicAPIBlockDevice exercises the RBD-style device over the facade.
+func TestPublicAPIBlockDevice(t *testing.T) {
+	world := dedupstore.NewWorld(7)
+	cfg := dedupstore.DefaultConfig()
+	cfg.Rate.Enabled = false
+	store, err := dedupstore.OpenStore(world.Cluster, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := dedupstore.NewBlockDevice("vol", 4<<20, 1<<20, store.Client("bd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 300<<10)
+	rand.New(rand.NewSource(2)).Read(data)
+	world.Run(func(p *dedupstore.Proc) {
+		if err := dev.WriteAt(p, 900<<10, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dev.ReadAt(p, 900<<10, int64(len(data)))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("device round trip: %v", err)
+		}
+	})
+}
+
+// TestWorldSizedAndRedundancyHelpers covers the remaining facade surface.
+func TestWorldSizedAndRedundancyHelpers(t *testing.T) {
+	world := dedupstore.NewWorldSized(1, 2, 3)
+	if got := len(world.Cluster.OSDs()); got != 6 {
+		t.Fatalf("OSDs = %d, want 6", got)
+	}
+	if dedupstore.ReplicatedN(3).Width() != 3 {
+		t.Fatal("ReplicatedN width")
+	}
+	if dedupstore.ErasureKM(4, 2).Width() != 6 {
+		t.Fatal("ErasureKM width")
+	}
+	cfg := dedupstore.DefaultConfig()
+	cfg.MetaRedundancy = dedupstore.ReplicatedN(2)
+	cfg.ChunkRedundancy = dedupstore.ErasureKM(2, 1)
+	store, err := dedupstore.OpenStore(world.Cluster, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.Run(func(p *dedupstore.Proc) {
+		cl := store.Client("x")
+		if err := cl.Write(p, "o", 0, []byte("mixed redundancy pools")); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

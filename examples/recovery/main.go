@@ -1,0 +1,77 @@
+// Recovery with deduplication (the paper's Table 3 scenario): because dedup
+// metadata and chunks are self-contained objects, the substrate's recovery
+// engine restores them like any other data — and moves roughly half the
+// bytes, because the dataset is deduplicated.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dedupstore"
+	"dedupstore/internal/workload"
+)
+
+func main() {
+	world := dedupstore.NewWorld(3)
+	cfg := dedupstore.DefaultConfig()
+	cfg.Rate.Enabled = false
+	cfg.HitSet.HitCount = 1000
+	cfg.DedupThreads = 8
+	s, err := dedupstore.OpenStore(world.Cluster, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl := s.Client("app")
+	dev, err := dedupstore.NewBlockDevice("vol", 32<<20, 1<<20, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 32MB volume whose content is 50% dedupable (fio-style).
+	world.Run(func(p *dedupstore.Proc) {
+		res := workload.RunFIO(p, dev, workload.FIOConfig{
+			BlockSize: 64 << 10, Span: 32 << 20, Pattern: workload.SeqWrite,
+			DedupPct: 50, Threads: 8, IODepth: 4, Seed: 5,
+		})
+		if res.Errors > 0 {
+			log.Fatalf("write errors: %d", res.Errors)
+		}
+		s.Engine().DrainAndWait(p)
+	})
+	fmt.Printf("dataset stored and deduplicated at virtual time %v\n", world.Engine.Now())
+
+	var before []byte
+	world.Run(func(p *dedupstore.Proc) {
+		var err error
+		before, err = dev.ReadAt(p, 5<<20, 256<<10)
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// Pull two drives on different hosts and put in fresh replacements.
+	for _, osd := range []int{2, 9} {
+		world.Cluster.FailOSD(osd)
+		if err := world.Cluster.ReplaceOSD(osd); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("replaced osd.2 (host0) and osd.9 (host2) with empty devices")
+
+	world.Run(func(p *dedupstore.Proc) {
+		stats := world.Cluster.Recover(p, 4)
+		fmt.Printf("recovery: %d objects copied, %.2f MB moved in %v (virtual)\n",
+			stats.ObjectsCopied, float64(stats.BytesMoved)/1e6, stats.Duration())
+	})
+
+	// Full redundancy and data integrity restored.
+	world.Run(func(p *dedupstore.Proc) {
+		after, err := dev.ReadAt(p, 5<<20, 256<<10)
+		if err != nil || !bytes.Equal(before, after) {
+			log.Fatalf("data mismatch after recovery: %v", err)
+		}
+		fmt.Println("post-recovery read verified: volume content intact")
+	})
+}

@@ -1,0 +1,96 @@
+// VM image consolidation (the paper's Fig. 13 scenario): a private cloud
+// stores many VM images that share the same OS bits. Global dedup plus
+// node-local compression collapses them; each extra VM costs only its
+// unique home data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dedupstore"
+	"dedupstore/internal/client"
+	"dedupstore/internal/compressfs"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/simcost"
+	"dedupstore/internal/store"
+	"dedupstore/internal/workload"
+)
+
+func main() {
+	imgCfg := workload.VMImageConfig{
+		ImageSize: 8 << 20, // "8GB" at the repo's 1000:1 scale
+		BlockSize: 32 << 10,
+		Thick:     true,
+		Seed:      11,
+	}
+	const images = 6
+
+	run := func(label string, dedup, compress bool) {
+		eng := sim.New(1)
+		var opts []rados.Option
+		if compress {
+			opts = append(opts, rados.WithStoreOptions(store.WithSizeFn(compressfs.Default())))
+		}
+		c := rados.NewTestbed(eng, simcost.Default(), 4, 4, opts...)
+
+		var usage func() int64
+		var mkdev func(vm int) *dedupstore.BlockDevice
+		if dedup {
+			cfg := dedupstore.DefaultConfig()
+			cfg.Rate.Enabled = false
+			cfg.HitSet.HitCount = 1000
+			cfg.DedupThreads = 8
+			s, err := dedupstore.OpenStore(c, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mkdev = func(vm int) *dedupstore.BlockDevice {
+				dev, err := dedupstore.NewBlockDevice(fmt.Sprintf("vm%d", vm), imgCfg.ImageSize, 1<<20, s.Client("loader"))
+				if err != nil {
+					log.Fatal(err)
+				}
+				return dev
+			}
+			usage = func() int64 {
+				eng.Go("drain", func(p *sim.Proc) { s.Engine().DrainAndWait(p) })
+				eng.Run()
+				return c.PoolStats(s.MetaPool()).StoredTotal() + c.PoolStats(s.ChunkPool()).StoredTotal()
+			}
+		} else {
+			pool, err := c.CreatePool(rados.PoolConfig{Name: "vm", PGNum: 64, Redundancy: rados.ReplicatedN(2)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			gw := c.NewGateway("loader")
+			mkdev = func(vm int) *dedupstore.BlockDevice {
+				dev, err := client.NewBlockDevice(fmt.Sprintf("vm%d", vm), imgCfg.ImageSize, 1<<20,
+					&client.RawBackend{GW: gw, Pool: pool})
+				if err != nil {
+					log.Fatal(err)
+				}
+				return dev
+			}
+			usage = func() int64 { return c.PoolStats(pool).StoredTotal() }
+		}
+
+		fmt.Printf("%-28s", label)
+		for vm := 0; vm < images; vm++ {
+			dev := mkdev(vm)
+			eng.Go("write", func(p *sim.Proc) {
+				if err := workload.WriteVMImage(p, dev, imgCfg, vm); err != nil {
+					log.Fatal(err)
+				}
+			})
+			eng.Run()
+			fmt.Printf("  %7.2fMB", float64(usage())/1e6)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("cumulative footprint after each of %d thick \"8GB\" images (2x replication):\n", images)
+	run("replication only", false, false)
+	run("replication + dedup", true, false)
+	run("replication + dedup + comp", true, true)
+}

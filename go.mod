@@ -1,0 +1,3 @@
+module dedupstore
+
+go 1.22

@@ -1,0 +1,24 @@
+package bloom
+
+import "testing"
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewWithEstimates(1<<20, 0.01)
+	key := []byte("chk.aabbccddeeff00112233445566778899aabbccddeeff001122334455667788")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(key)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := NewWithEstimates(1<<20, 0.01)
+	key := []byte("chk.aabbccddeeff00112233445566778899aabbccddeeff001122334455667788")
+	f.Add(key)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Contains(key) {
+			b.Fatal("lost key")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package bloom implements a classic Bloom filter with double hashing
+// (Kirsch–Mitzenmacher). The dedup cache manager keeps one in memory per
+// persisted HitSet, mirroring Ceph's bloom-backed HitSet existence check
+// (paper §5, "Cache management").
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"dedupstore/internal/xxh"
+)
+
+// Filter is a fixed-size Bloom filter. The zero value is not usable; create
+// one with New or NewWithEstimates.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    uint64 // hash functions
+	n    uint64 // inserted elements
+}
+
+// New creates a filter with m bits and k hash functions.
+func New(m, k uint64) *Filter {
+	if m == 0 {
+		m = 64
+	}
+	if k == 0 {
+		k = 1
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// NewWithEstimates sizes a filter for n expected insertions at false-positive
+// probability fp.
+func NewWithEstimates(n uint64, fp float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if fp <= 0 || fp >= 1 {
+		fp = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	k := uint64(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// Add inserts key.
+func (f *Filter) Add(key []byte) {
+	h1 := xxh.HashBytes(0x5bd1e995, key)
+	h2 := xxh.HashBytes(0xc2b2ae35, key) | 1
+	for i := uint64(0); i < f.k; i++ {
+		bit := (h1 + i*h2) % f.m
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+	f.n++
+}
+
+// AddString inserts a string key.
+func (f *Filter) AddString(key string) { f.Add([]byte(key)) }
+
+// Contains reports whether key may have been inserted (false positives
+// possible, false negatives impossible).
+func (f *Filter) Contains(key []byte) bool {
+	h1 := xxh.HashBytes(0x5bd1e995, key)
+	h2 := xxh.HashBytes(0xc2b2ae35, key) | 1
+	for i := uint64(0); i < f.k; i++ {
+		bit := (h1 + i*h2) % f.m
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsString reports membership of a string key.
+func (f *Filter) ContainsString(key string) bool { return f.Contains([]byte(key)) }
+
+// Count returns the number of Add calls.
+func (f *Filter) Count() uint64 { return f.n }
+
+// EstimatedFP returns the current expected false-positive probability given
+// the number of insertions so far.
+func (f *Filter) EstimatedFP() float64 {
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// Marshal serializes the filter (persisted alongside HitSets).
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 24+8*len(f.bits))
+	binary.LittleEndian.PutUint64(out[0:], f.m)
+	binary.LittleEndian.PutUint64(out[8:], f.k)
+	binary.LittleEndian.PutUint64(out[16:], f.n)
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(out[24+8*i:], w)
+	}
+	return out
+}
+
+// ErrCorrupt reports a malformed serialized filter.
+var ErrCorrupt = errors.New("bloom: corrupt serialized filter")
+
+// Unmarshal deserializes a filter produced by Marshal.
+func Unmarshal(b []byte) (*Filter, error) {
+	if len(b) < 24 {
+		return nil, ErrCorrupt
+	}
+	m := binary.LittleEndian.Uint64(b[0:])
+	k := binary.LittleEndian.Uint64(b[8:])
+	n := binary.LittleEndian.Uint64(b[16:])
+	words := int((m + 63) / 64)
+	if len(b) != 24+8*words || m == 0 || k == 0 {
+		return nil, ErrCorrupt
+	}
+	f := New(m, k)
+	f.n = n
+	for i := 0; i < words; i++ {
+		f.bits[i] = binary.LittleEndian.Uint64(b[24+8*i:])
+	}
+	return f, nil
+}

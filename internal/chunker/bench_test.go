@@ -1,0 +1,36 @@
+package chunker
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(1)).Read(data)
+	return data
+}
+
+func BenchmarkFixedSplit4MB(b *testing.B) {
+	data := benchData(4 << 20)
+	f := NewFixed(32 << 10)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := f.Split(0, data); len(got) == 0 {
+			b.Fatal("no chunks")
+		}
+	}
+}
+
+func BenchmarkCDCSplit4MB(b *testing.B) {
+	data := benchData(4 << 20)
+	c := NewCDC(8<<10, 32<<10, 128<<10)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.Split(0, data); len(got) == 0 {
+			b.Fatal("no chunks")
+		}
+	}
+}

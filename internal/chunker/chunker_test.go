@@ -1,0 +1,184 @@
+package chunker
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedSplitAligned(t *testing.T) {
+	f := NewFixed(32)
+	data := make([]byte, 100)
+	chunks := f.Split(0, data)
+	if len(chunks) != 4 {
+		t.Fatalf("got %d chunks, want 4", len(chunks))
+	}
+	wantLens := []int{32, 32, 32, 4}
+	for i, c := range chunks {
+		if len(c.Data) != wantLens[i] {
+			t.Fatalf("chunk %d len=%d want %d", i, len(c.Data), wantLens[i])
+		}
+		if c.Offset != int64(i*32) {
+			t.Fatalf("chunk %d offset=%d", i, c.Offset)
+		}
+	}
+}
+
+func TestFixedSplitUnalignedOffset(t *testing.T) {
+	f := NewFixed(32)
+	// Write of 48 bytes at offset 16 must produce [16:32) and [32:64).
+	chunks := f.Split(16, make([]byte, 48))
+	if len(chunks) != 2 {
+		t.Fatalf("got %d chunks, want 2", len(chunks))
+	}
+	if chunks[0].Offset != 16 || len(chunks[0].Data) != 16 {
+		t.Fatalf("chunk0 = %d+%d", chunks[0].Offset, len(chunks[0].Data))
+	}
+	if chunks[1].Offset != 32 || len(chunks[1].Data) != 32 {
+		t.Fatalf("chunk1 = %d+%d", chunks[1].Offset, len(chunks[1].Data))
+	}
+}
+
+func TestFixedSplitEmpty(t *testing.T) {
+	if got := NewFixed(32).Split(0, nil); got != nil {
+		t.Fatalf("empty split = %v", got)
+	}
+}
+
+func TestFixedAlign(t *testing.T) {
+	f := NewFixed(32)
+	if f.AlignDown(33) != 32 || f.AlignDown(32) != 32 || f.AlignDown(31) != 0 {
+		t.Fatal("AlignDown wrong")
+	}
+	if f.AlignUp(33) != 64 || f.AlignUp(32) != 32 || f.AlignUp(1) != 32 {
+		t.Fatal("AlignUp wrong")
+	}
+}
+
+func TestFixedCoversInput(t *testing.T) {
+	f := NewFixed(31) // odd size
+	prop := func(off uint16, n uint16) bool {
+		data := make([]byte, int(n)%5000)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		chunks := f.Split(int64(off), data)
+		// Reassemble and compare.
+		var re []byte
+		expect := int64(off)
+		for _, c := range chunks {
+			if c.Offset != expect {
+				return false
+			}
+			re = append(re, c.Data...)
+			expect = c.End()
+		}
+		return bytes.Equal(re, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedDeterministicBoundaries(t *testing.T) {
+	f := NewFixed(64)
+	data := make([]byte, 1000)
+	a := f.Split(128, data)
+	b := f.Split(128, data)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic chunk count")
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset || len(a[i].Data) != len(b[i].Data) {
+			t.Fatal("nondeterministic boundaries")
+		}
+	}
+}
+
+func TestFixedPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for size 0")
+		}
+	}()
+	NewFixed(0)
+}
+
+func TestCDCCoversInput(t *testing.T) {
+	c := NewCDC(512, 2048, 8192)
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 100000)
+	rng.Read(data)
+	chunks := c.Split(0, data)
+	var re []byte
+	for _, ch := range chunks {
+		re = append(re, ch.Data...)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatal("CDC chunks do not reassemble input")
+	}
+}
+
+func TestCDCSizeBounds(t *testing.T) {
+	c := NewCDC(512, 2048, 8192)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 200000)
+	rng.Read(data)
+	chunks := c.Split(0, data)
+	for i, ch := range chunks {
+		if i < len(chunks)-1 && int64(len(ch.Data)) < c.Min {
+			t.Fatalf("chunk %d below min: %d", i, len(ch.Data))
+		}
+		if int64(len(ch.Data)) > c.Max {
+			t.Fatalf("chunk %d above max: %d", i, len(ch.Data))
+		}
+	}
+	avg := len(data) / len(chunks)
+	if avg < 1024 || avg > 8192 {
+		t.Fatalf("average chunk %d far from target 2048", avg)
+	}
+}
+
+func TestCDCShiftInvariance(t *testing.T) {
+	// The signature CDC property: inserting a prefix shifts boundaries but
+	// most chunk contents stay identical, unlike fixed-size chunking.
+	c := NewCDC(256, 1024, 4096)
+	rng := rand.New(rand.NewSource(7))
+	base := make([]byte, 50000)
+	rng.Read(base)
+	shifted := append([]byte("PREFIX-INSERTED"), base...)
+
+	set := map[string]bool{}
+	for _, ch := range c.Split(0, base) {
+		set[string(ch.Data)] = true
+	}
+	shared := 0
+	chunks := c.Split(0, shifted)
+	for _, ch := range chunks {
+		if set[string(ch.Data)] {
+			shared++
+		}
+	}
+	if shared < len(chunks)/2 {
+		t.Fatalf("only %d/%d chunks survive a prefix shift", shared, len(chunks))
+	}
+}
+
+func TestCDCPanicsOnPartialSplit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for offset != 0")
+		}
+	}()
+	NewCDC(256, 1024, 4096).Split(512, make([]byte, 10))
+}
+
+func TestNames(t *testing.T) {
+	if NewFixed(32768).Name() != "fixed-32768" {
+		t.Fatal("fixed name")
+	}
+	if NewCDC(256, 1024, 4096).Name() != "cdc-1024" {
+		t.Fatal("cdc name")
+	}
+}

@@ -1,0 +1,201 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dedupstore/internal/core"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/simcost"
+)
+
+func rawDevice(t *testing.T, objectSize int64) (*sim.Engine, *BlockDevice) {
+	t.Helper()
+	eng := sim.New(3)
+	c := rados.NewTestbed(eng, simcost.Default(), 4, 4)
+	pool, err := c.CreatePool(rados.PoolConfig{Name: "rbd", PGNum: 64, Redundancy: rados.ReplicatedN(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewBlockDevice("img", 1<<20, objectSize, &RawBackend{GW: c.NewGateway("cl"), Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, dev
+}
+
+func run(t *testing.T, eng *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	var panicked error
+	eng.Go("test", func(p *sim.Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		fn(p)
+	})
+	eng.Run()
+	if panicked != nil {
+		t.Fatal(panicked)
+	}
+}
+
+func TestBlockDeviceRoundTrip(t *testing.T) {
+	eng, dev := rawDevice(t, 64<<10)
+	data := make([]byte, 100000) // spans 2 objects
+	rand.New(rand.NewSource(1)).Read(data)
+	run(t, eng, func(p *sim.Proc) {
+		if err := dev.WriteAt(p, 30000, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dev.ReadAt(p, 30000, int64(len(data)))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("round trip: %v", err)
+		}
+	})
+}
+
+func TestBlockDeviceHolesReadZero(t *testing.T) {
+	eng, dev := rawDevice(t, 64<<10)
+	run(t, eng, func(p *sim.Proc) {
+		got, err := dev.ReadAt(p, 500000, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range got {
+			if b != 0 {
+				t.Fatal("hole read nonzero")
+			}
+		}
+	})
+}
+
+func TestBlockDeviceBounds(t *testing.T) {
+	eng, dev := rawDevice(t, 64<<10)
+	run(t, eng, func(p *sim.Proc) {
+		if err := dev.WriteAt(p, dev.Size()-10, make([]byte, 20)); err == nil {
+			t.Fatal("out-of-bounds write accepted")
+		}
+		if _, err := dev.ReadAt(p, -1, 10); err == nil {
+			t.Fatal("negative-offset read accepted")
+		}
+	})
+}
+
+func TestBlockDeviceStriping(t *testing.T) {
+	eng, dev := rawDevice(t, 64<<10)
+	if dev.ObjectCount() != 16 {
+		t.Fatalf("object count = %d, want 16", dev.ObjectCount())
+	}
+	run(t, eng, func(p *sim.Proc) {
+		// A write crossing three stripe objects.
+		data := make([]byte, 3*64<<10)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if err := dev.WriteAt(p, 32<<10, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dev.ReadAt(p, 32<<10, int64(len(data)))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("striped round trip: %v", err)
+		}
+	})
+}
+
+func TestBlockDeviceOnDedupStore(t *testing.T) {
+	eng := sim.New(4)
+	c := rados.NewTestbed(eng, simcost.Default(), 4, 4)
+	cfg := core.DefaultConfig()
+	cfg.ChunkSize = 8 << 10
+	cfg.Rate.Enabled = false
+	s, err := core.Open(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewBlockDevice("img", 1<<20, 256<<10, &DedupBackend{Client: s.Client("cl")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 300<<10)
+	rand.New(rand.NewSource(2)).Read(data)
+	run(t, eng, func(p *sim.Proc) {
+		if err := dev.WriteAt(p, 12345, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	run(t, eng, func(p *sim.Proc) { s.Engine().DrainAndWait(p) })
+	run(t, eng, func(p *sim.Proc) {
+		got, err := dev.ReadAt(p, 12345, int64(len(data)))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("dedup-backed device round trip: %v", err)
+		}
+	})
+}
+
+func TestDiscard(t *testing.T) {
+	eng, dev := rawDevice(t, 64<<10)
+	run(t, eng, func(p *sim.Proc) {
+		data := bytes.Repeat([]byte{1}, 128<<10)
+		if err := dev.WriteAt(p, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Discard(p, 0, 64<<10); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dev.ReadAt(p, 0, 128<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64<<10; i++ {
+			if got[i] != 0 {
+				t.Fatal("discarded region nonzero")
+			}
+		}
+		for i := 64 << 10; i < 128<<10; i++ {
+			if got[i] != 1 {
+				t.Fatal("undiscarded region corrupted")
+			}
+		}
+	})
+}
+
+func TestInvalidDevice(t *testing.T) {
+	if _, err := NewBlockDevice("x", 0, 0, nil); err == nil {
+		t.Fatal("zero-size device accepted")
+	}
+}
+
+func TestQuickBlockDeviceConsistency(t *testing.T) {
+	eng, dev := rawDevice(t, 32<<10)
+	model := make([]byte, dev.Size())
+	prop := func(off uint32, size uint16, fill byte) bool {
+		o := int64(off) % (dev.Size() - 1)
+		n := int64(size)%8192 + 1
+		if o+n > dev.Size() {
+			n = dev.Size() - o
+		}
+		ok := true
+		run(t, eng, func(p *sim.Proc) {
+			data := bytes.Repeat([]byte{fill}, int(n))
+			if err := dev.WriteAt(p, o, data); err != nil {
+				ok = false
+				return
+			}
+			copy(model[o:], data)
+			got, err := dev.ReadAt(p, o, n)
+			if err != nil || !bytes.Equal(got, model[o:o+n]) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+// Package compressfs models node-local filesystem compression (the Btrfs
+// transparent-compression role in the paper's Fig. 13 experiment): it
+// reports how many bytes an object's data actually occupies on disk when
+// the local filesystem compresses it.
+package compressfs
+
+import (
+	"bytes"
+	"compress/flate"
+)
+
+// SizeFn maps object data to its on-disk footprint in bytes.
+type SizeFn func(data []byte) int
+
+// Identity reports the uncompressed size (no filesystem compression).
+func Identity(data []byte) int { return len(data) }
+
+// Flate returns a SizeFn that measures the DEFLATE-compressed footprint at
+// the given level (flate.BestSpeed mirrors Btrfs's fast-path behaviour).
+// Data that does not compress (footprint would exceed input) is stored raw,
+// as real filesystems do.
+func Flate(level int) SizeFn {
+	return func(data []byte) int {
+		if len(data) == 0 {
+			return 0
+		}
+		var buf bytes.Buffer
+		w, err := flate.NewWriter(&buf, level)
+		if err != nil {
+			return len(data)
+		}
+		if _, err := w.Write(data); err != nil {
+			return len(data)
+		}
+		if err := w.Close(); err != nil {
+			return len(data)
+		}
+		if buf.Len() >= len(data) {
+			return len(data)
+		}
+		return buf.Len()
+	}
+}
+
+// Default is the fast compression used by the Fig. 13 experiment.
+func Default() SizeFn { return Flate(flate.BestSpeed) }

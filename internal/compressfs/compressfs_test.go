@@ -1,0 +1,52 @@
+package compressfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestIdentity(t *testing.T) {
+	if Identity(make([]byte, 100)) != 100 {
+		t.Fatal("identity size wrong")
+	}
+}
+
+func TestFlateCompressesZeros(t *testing.T) {
+	fn := Default()
+	if got := fn(make([]byte, 1<<20)); got > 8<<10 {
+		t.Fatalf("1MB of zeros stored as %d bytes", got)
+	}
+}
+
+func TestFlateIncompressibleStoredRaw(t *testing.T) {
+	fn := Default()
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+	if got := fn(data); got > len(data) {
+		t.Fatalf("incompressible data stored as %d > %d raw bytes", got, len(data))
+	}
+}
+
+func TestFlateTextLikeContent(t *testing.T) {
+	fn := Default()
+	data := bytes.Repeat([]byte("configuration=/usr/share/package/default;"), 2000)
+	got := fn(data)
+	if got >= len(data)/4 {
+		t.Fatalf("repetitive text compressed only to %d/%d", got, len(data))
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if Default()(nil) != 0 {
+		t.Fatal("empty data has nonzero footprint")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	fn := Default()
+	data := bytes.Repeat([]byte("abc123"), 5000)
+	if fn(data) != fn(data) {
+		t.Fatal("footprint not deterministic")
+	}
+}

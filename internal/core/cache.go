@@ -1,0 +1,62 @@
+package core
+
+import (
+	"dedupstore/internal/hitset"
+	"dedupstore/internal/sim"
+)
+
+// CacheManager decides which objects keep their chunks cached in the
+// metadata pool (§4.3). It follows the paper's Ceph implementation (§5):
+// per-interval HitSets backed by bloom filters track recent accesses, and an
+// object whose access count reaches the HitCount threshold is hot — the
+// dedup engine leaves hot objects alone ("the hot object is not deduplicated
+// until its state is changed", §3.2), and flushed hot objects keep a cached
+// copy in the metadata object.
+type CacheManager struct {
+	tracker     *hitset.Tracker
+	keepHot     bool
+	skippedHot  int64
+	keptCached  int64
+	evictedCold int64
+}
+
+// NewCacheManager creates a cache manager.
+func NewCacheManager(cfg hitset.Config, keepHot bool) *CacheManager {
+	return &CacheManager{tracker: hitset.New(cfg), keepHot: keepHot}
+}
+
+// RecordAccess notes a client read or write of oid.
+func (cm *CacheManager) RecordAccess(now sim.Time, oid string) {
+	cm.tracker.Record(now, oid)
+}
+
+// Hot reports whether oid is currently hot.
+func (cm *CacheManager) Hot(now sim.Time, oid string) bool {
+	return cm.tracker.Hot(now, oid)
+}
+
+// SkipFlush reports whether the dedup engine should defer deduplicating oid
+// this cycle. Hot objects are skipped; they remain on the dirty list.
+func (cm *CacheManager) SkipFlush(now sim.Time, oid string) bool {
+	if cm.tracker.Hot(now, oid) {
+		cm.skippedHot++
+		return true
+	}
+	return false
+}
+
+// KeepCachedAfterFlush reports whether a just-flushed chunk should stay
+// cached in the metadata object (hot) or be evicted (cold).
+func (cm *CacheManager) KeepCachedAfterFlush(now sim.Time, oid string) bool {
+	if cm.keepHot && cm.tracker.Hot(now, oid) {
+		cm.keptCached++
+		return true
+	}
+	cm.evictedCold++
+	return false
+}
+
+// Stats reports cache-manager decision counters.
+func (cm *CacheManager) Stats() (skippedHot, keptCached, evictedCold int64) {
+	return cm.skippedHot, cm.keptCached, cm.evictedCold
+}

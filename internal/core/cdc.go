@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/store"
+)
+
+// Content-defined chunking mode. The paper evaluates static chunking and
+// notes CDC as the CPU-heavy alternative (§5); this mode implements it end
+// to end as an extension: writes land in the metadata object as usual (the
+// write path stays fixed-slot for caching and dirty tracking), but the
+// background flush re-chunks the WHOLE object with a rolling-hash CDC
+// splitter, so byte-shifted duplicates across objects still collapse.
+//
+// Mechanics: CDC boundaries depend on the full object content, so a CDC
+// flush must (1) materialize the complete object — cached ranges from the
+// metadata object, flushed ranges from their chunks — (2) split it, (3)
+// reference the new chunks, (4) replace the entire chunk map, and (5)
+// de-reference every previously referenced chunk. A racing client write
+// (any slot's Gen changed) aborts the map swap and undoes the new
+// references, leaving the object dirty for the next cycle — the same
+// convergence argument as §4.6.
+
+// flushObjectCDC deduplicates one object with content-defined chunking.
+func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid string) error {
+	s := e.s
+	cdc := s.cfg.CDC
+	if cdc == nil {
+		return errors.New("core: CDC flush without CDC config")
+	}
+
+	raw, err := gw.GetXattr(p, s.meta, oid, XattrChunkMap)
+	if err != nil {
+		return nil // deleted meanwhile
+	}
+	cm, err := UnmarshalChunkMap(raw)
+	if err != nil {
+		return err
+	}
+	if len(cm.DirtyEntries()) == 0 {
+		return nil
+	}
+	size := cm.Size()
+
+	// (1) Materialize the full object content and remember each slot's Gen.
+	gens := make(map[int64]uint32, len(cm.Entries))
+	data := make([]byte, size)
+	for _, entry := range cm.Entries {
+		gens[entry.Start] = entry.Gen
+		var seg []byte
+		if entry.Cached {
+			seg, err = gw.Read(p, s.meta, oid, entry.Start, entry.Len())
+		} else if entry.ChunkID != "" {
+			seg, err = gw.Read(p, s.chunk, entry.ChunkID, 0, entry.Len())
+		} else {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("core: cdc materialize %s@%d: %w", oid, entry.Start, err)
+		}
+		copy(data[entry.Start:], seg)
+	}
+
+	// (2) Split with the rolling hash; charge its CPU cost on top of the
+	// fingerprinting (the expense the paper avoids, §5).
+	cost := s.cluster.Cost()
+	if err := s.cluster.UseHostCPU(p, hostName, cost.Hash(len(data))+cost.Hash(len(data))/2); err != nil {
+		return err
+	}
+	chunks := cdc.Split(0, data)
+
+	// (3) Reference the new chunks (create-or-incref, §4.4.1 steps 4-5).
+	var refs []takenRef
+	for _, c := range chunks {
+		if !force(e) {
+			e.pace(p)
+		}
+		id := FingerprintID(c.Data)
+		ref := Ref{Pool: s.meta.ID, OID: oid, Offset: c.Offset}
+		var added bool
+		if err := gw.MutateWithPayload(p, s.chunk, id, len(c.Data), putRefFnTracked(c.Data, ref, &added)); err != nil {
+			e.undoRefs(p, gw, refs)
+			return err
+		}
+		e.stats.ChunksFlushed++
+		e.stats.BytesFlushed += int64(len(c.Data))
+		refs = append(refs, takenRef{
+			entry: Entry{Start: c.Offset, End: c.End(), ChunkID: id},
+			ref:   ref,
+			added: added,
+		})
+	}
+
+	// (4) Swap the chunk map if no write raced; collect the old references.
+	var oldRefs []takenRef
+	raced := false
+	keepCached := s.cache.KeepCachedAfterFlush(p.Now(), oid)
+	err = gw.Mutate(p, s.meta, oid, func(v rados.View) (*store.Txn, error) {
+		cur, err := loadChunkMap(v)
+		if err != nil {
+			return nil, err
+		}
+		for _, entry := range cur.Entries {
+			g, ok := gens[entry.Start]
+			if !ok || g != entry.Gen {
+				raced = true
+				return nil, nil
+			}
+			if entry.ChunkID != "" {
+				oldRefs = append(oldRefs, takenRef{
+					entry: entry,
+					ref:   Ref{Pool: s.meta.ID, OID: oid, Offset: entry.Start},
+				})
+			}
+		}
+		next := &ChunkMap{}
+		for _, nr := range refs {
+			en := nr.entry
+			en.Cached = keepCached
+			next.Entries = append(next.Entries, en)
+		}
+		txn := store.NewTxn().SetXattr(XattrChunkMap, next.Marshal())
+		if keepCached {
+			txn.Write(0, data) // keep the full object cached
+		} else {
+			txn.Zero(0, size)
+		}
+		return txn, nil
+	})
+	if err != nil {
+		e.undoRefs(p, gw, refs)
+		return err
+	}
+	if raced {
+		e.stats.Requeued++
+		e.undoRefs(p, gw, refs)
+		return gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
+			return store.NewTxn().Create().OmapSet(oid, nil), nil
+		})
+	}
+
+	// (5) De-reference the replaced chunks. A new reference with the same
+	// (oid, offset) key may now live on a different chunk object; the old
+	// chunk's copy of the key is removed here. Chunks whose identity did
+	// not change were never re-referenced (putRefFn is idempotent per key),
+	// so skip those.
+	newByOffset := make(map[int64]string, len(refs))
+	for _, nr := range refs {
+		newByOffset[nr.entry.Start] = nr.entry.ChunkID
+	}
+	for _, or := range oldRefs {
+		if newByOffset[or.entry.Start] == or.entry.ChunkID {
+			continue
+		}
+		fn := decRefFn(or.ref)
+		if s.cfg.FalsePositiveRefs {
+			fn = dropRefFn(or.ref)
+		}
+		if err := gw.Mutate(p, s.chunk, or.entry.ChunkID, fn); err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// takenRef pairs a prospective chunk-map entry with its reference key.
+// added records whether the reference was newly created (undo must not
+// remove references recorded by earlier flushes).
+type takenRef struct {
+	entry Entry
+	ref   Ref
+	added bool
+}
+
+// undoRefs rolls back references taken by an aborted CDC flush.
+func (e *Engine) undoRefs(p *sim.Proc, gw *rados.Gateway, refs []takenRef) {
+	s := e.s
+	for _, nr := range refs {
+		if !nr.added {
+			continue
+		}
+		fn := decRefFn(nr.ref)
+		if s.cfg.FalsePositiveRefs {
+			fn = dropRefFn(nr.ref)
+		}
+		_ = gw.Mutate(p, s.chunk, nr.entry.ChunkID, fn)
+	}
+}
+
+func force(e *Engine) bool { return e.draining }
+
+// cdcWrite is the CDC-mode client write path: because existing entries may
+// have arbitrary (content-defined) boundaries, a write first materializes
+// every overlapped entry into the cached data region, then replaces the
+// overlapped entries with one cached, dirty span. The replaced chunks are
+// de-referenced after the map update.
+func (cl *Client) cdcWrite(p *sim.Proc, oid string, off int64, data []byte) error {
+	s := cl.s
+	proxyGW, _, err := s.metaPrimaryGW(oid)
+	if err != nil {
+		return err
+	}
+	type oldChunk struct {
+		id  string
+		ref Ref
+	}
+	var replaced []oldChunk
+	err = cl.gw.MutateWithPayload(p, s.meta, oid, len(data), func(v rados.View) (*store.Txn, error) {
+		cm, err := loadChunkMap(v)
+		if err != nil {
+			return nil, err
+		}
+		end := off + int64(len(data))
+		spanStart, spanEnd := off, end
+		txn := store.NewTxn()
+		var kept []Entry
+		var maxGen uint32
+		for _, entry := range cm.Entries {
+			if entry.End <= off || entry.Start >= end {
+				kept = append(kept, entry)
+				continue
+			}
+			// Overlap: pull the entry's bytes into the object if needed,
+			// then fold it into the new dirty span.
+			if entry.Start < spanStart {
+				spanStart = entry.Start
+			}
+			if entry.End > spanEnd {
+				spanEnd = entry.End
+			}
+			if entry.Gen > maxGen {
+				maxGen = entry.Gen
+			}
+			if !entry.Cached && entry.ChunkID != "" {
+				chunkData, err := proxyGW.Read(p, s.chunk, entry.ChunkID, 0, entry.Len())
+				if err != nil {
+					return nil, fmt.Errorf("core: cdc pre-read %s: %w", entry.ChunkID, err)
+				}
+				txn.Write(entry.Start, chunkData)
+			}
+			if entry.ChunkID != "" {
+				replaced = append(replaced, oldChunk{
+					id:  entry.ChunkID,
+					ref: Ref{Pool: s.meta.ID, OID: oid, Offset: entry.Start},
+				})
+			}
+		}
+		txn.Write(off, data)
+		next := &ChunkMap{Entries: kept}
+		next.Upsert(Entry{Start: spanStart, End: spanEnd, Cached: true, Dirty: true, Gen: maxGen + 1})
+		txn.SetXattr(XattrChunkMap, next.Marshal())
+		return txn, nil
+	})
+	if err != nil {
+		return err
+	}
+	// De-reference chunks the span swallowed (their data now lives in the
+	// metadata object).
+	for _, oc := range replaced {
+		fn := decRefFn(oc.ref)
+		if s.cfg.FalsePositiveRefs {
+			fn = dropRefFn(oc.ref)
+		}
+		if err := cl.gw.Mutate(p, s.chunk, oc.id, fn); err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+	}
+	// Log the object for the background engine.
+	return cl.gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
+		return store.NewTxn().Create().OmapSet(oid, nil), nil
+	})
+}
+
+// UseCDC reports whether the store runs in content-defined chunking mode.
+func (s *Store) UseCDC() bool { return s.cfg.CDC != nil }

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/store"
+)
+
+// EngineStats counts the background engine's work.
+type EngineStats struct {
+	ObjectsScanned int64
+	ChunksFlushed  int64
+	BytesFlushed   int64
+	DupChunks      int64 // flushed chunks that already existed in the chunk pool
+	SkippedHot     int64
+	Requeued       int64 // flushes retried because a write raced
+	ThrottleWaits  int64 // pacing stalls taken by rate control
+}
+
+// Engine is the background post-processing deduplicator (§4.4.1): worker
+// processes scan the per-PG dirty object ID lists, read dirty cached chunks
+// from metadata objects, fingerprint them, move them to the chunk pool with
+// reference counting, and update the chunk maps — all throttled by the
+// watermark rate controller (§4.4.2).
+type Engine struct {
+	s     *Store
+	stats EngineStats
+
+	started  bool
+	stopReq  bool
+	draining bool
+	done     []*sim.Signal
+
+	claimed map[string]bool // objects a worker is currently flushing
+	pending []string        // dirty OIDs discovered by the last sweep
+	inQueue map[string]bool // membership set for pending
+
+	// Rate-control pacing state: the foreground-op count at which the next
+	// dedup I/O is allowed.
+	nextAllowedAtFgOps int64
+
+	// Test hooks: simulated crash points in the flush protocol (§4.6). A
+	// hook returning true aborts the flush at that point, as a crash would.
+	hookAfterDeref     func(oid string, e Entry) bool
+	hookAfterChunkPut  func(oid string, e Entry) bool
+	hookBeforeMapWrite func(oid string, e Entry) bool
+}
+
+func newEngine(s *Store) *Engine {
+	return &Engine{s: s, claimed: make(map[string]bool), inQueue: make(map[string]bool)}
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Start spawns the worker processes.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	eng := e.s.cluster.Engine()
+	for i := 0; i < e.s.cfg.DedupThreads; i++ {
+		e.done = append(e.done, eng.GoDaemon(fmt.Sprintf("dedup.worker%d", i), e.workerLoop))
+	}
+}
+
+// RequestStop asks workers to exit after their current object.
+func (e *Engine) RequestStop() { e.stopReq = true }
+
+// Drain switches workers into drain mode: they keep flushing until every
+// dirty list is empty, then exit. Wait on the returned signals completing
+// via WaitIdle.
+func (e *Engine) Drain() { e.draining = true }
+
+// WaitIdle blocks p until all workers have exited (use after Drain or
+// RequestStop).
+func (e *Engine) WaitIdle(p *sim.Proc) { sim.WaitAll(p, e.done...) }
+
+// DrainAndWait flushes all outstanding dirty objects and stops the workers.
+func (e *Engine) DrainAndWait(p *sim.Proc) {
+	if !e.started {
+		e.Start()
+	}
+	e.Drain()
+	e.WaitIdle(p)
+	e.started = false
+	e.draining = false
+	e.stopReq = false
+	e.done = nil
+}
+
+func (e *Engine) workerLoop(p *sim.Proc) {
+	s := e.s
+	for !e.stopReq {
+		oid, ok := e.nextDirty(p)
+		if !ok {
+			if e.draining && len(e.claimed) == 0 {
+				return
+			}
+			p.Sleep(s.cfg.ScanInterval)
+			continue
+		}
+		gw, hostName, err := s.metaPrimaryGW(oid)
+		if err != nil {
+			continue
+		}
+		e.claimed[oid] = true
+		_ = e.flushObject(p, gw, hostName, oid, false)
+		delete(e.claimed, oid)
+	}
+}
+
+// nextDirty returns the next unclaimed dirty object ID (§4.4.1 step 1).
+// Workers share a pending queue refilled by sweeping every per-PG dirty
+// list, so list scans amortize across many claims.
+func (e *Engine) nextDirty(p *sim.Proc) (string, bool) {
+	s := e.s
+	for attempt := 0; attempt < 2; attempt++ {
+		for len(e.pending) > 0 {
+			oid := e.pending[0]
+			e.pending = e.pending[1:]
+			delete(e.inQueue, oid)
+			if e.claimed[oid] {
+				continue
+			}
+			// Hot objects stay on the dirty list for a later cycle (§3.2),
+			// except during a drain, which force-flushes everything.
+			if !e.draining && s.cache.SkipFlush(p.Now(), oid) {
+				e.stats.SkippedHot++
+				continue
+			}
+			return oid, true
+		}
+		if attempt > 0 {
+			break
+		}
+		// Sweep all dirty lists to refill the queue.
+		gw := s.hostGW(anyHost(s))
+		for _, listOID := range s.dirtyListAll() {
+			oids, err := gw.OmapList(p, s.meta, listOID, 64)
+			if err != nil {
+				continue
+			}
+			for _, oid := range oids {
+				if !e.claimed[oid] && !e.inQueue[oid] {
+					e.pending = append(e.pending, oid)
+					e.inQueue[oid] = true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+func anyHost(s *Store) string {
+	hostName, err := s.cluster.PrimaryHost(s.meta, "sys.scan")
+	if err != nil {
+		panic("core: cluster has no OSDs")
+	}
+	return hostName
+}
+
+// pace enforces the watermark rate control (§4.4.2) before each dedup I/O:
+// above the high watermark one dedup I/O is allowed per OpsPerDedupAboveHigh
+// foreground I/Os; between the watermarks one per OpsPerDedupMid; below the
+// low watermark dedup runs unthrottled.
+func (e *Engine) pace(p *sim.Proc) {
+	rc := e.s.cfg.Rate
+	if !rc.Enabled {
+		return
+	}
+	for !e.stopReq {
+		iops := e.s.cluster.ForegroundOps().RecentIOPS()
+		var gap int64
+		switch {
+		case iops > rc.HighIOPS:
+			gap = rc.OpsPerDedupAboveHigh
+		case iops > rc.LowIOPS:
+			gap = rc.OpsPerDedupMid
+		default:
+			return // no limitation below the low watermark
+		}
+		fgOps, _ := e.s.cluster.ForegroundOps().Totals()
+		if fgOps >= e.nextAllowedAtFgOps {
+			e.nextAllowedAtFgOps = fgOps + gap
+			return
+		}
+		e.stats.ThrottleWaits++
+		p.Sleep(5 * time.Millisecond)
+	}
+}
+
+// flushObject deduplicates every dirty chunk of one metadata object
+// (§4.4.1 steps 2–6). force bypasses the hot-object exemption and rate
+// control (used by ModeFlushThrough and final drains).
+func (e *Engine) flushObject(p *sim.Proc, gw *rados.Gateway, hostName, oid string, force bool) error {
+	s := e.s
+	e.stats.ObjectsScanned++
+
+	// Claim: remove from the dirty list first; any racing client write
+	// re-adds the object (its OmapSet is idempotent), so nothing is lost.
+	if err := gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
+		return store.NewTxn().Create().OmapRm(oid), nil
+	}); err != nil {
+		return err
+	}
+
+	if s.cfg.CDC != nil {
+		if err := e.flushObjectCDC(p, gw, hostName, oid); err != nil {
+			e.stats.Requeued++
+			return gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
+				return store.NewTxn().Create().OmapSet(oid, nil), nil
+			})
+		}
+		return nil
+	}
+
+	raw, err := gw.GetXattr(p, s.meta, oid, XattrChunkMap)
+	if err != nil {
+		return nil // deleted meanwhile
+	}
+	cm, err := UnmarshalChunkMap(raw)
+	if err != nil {
+		return err
+	}
+	// Flush dirty chunks with bounded intra-object parallelism: each chunk
+	// is an independent slot, so their chunk-pool I/Os pipeline.
+	requeue := false
+	queue := sim.NewQueue[Entry]()
+	for _, i := range cm.DirtyEntries() {
+		if entry := cm.Entries[i]; entry.Cached {
+			queue.PushFrom(s.cluster.Engine(), entry)
+		}
+	}
+	workers := s.cfg.FlushParallel
+	if n := queue.Len(); workers > n {
+		workers = n
+	}
+	var sigs []*sim.Signal
+	for w := 0; w < workers; w++ {
+		sigs = append(sigs, p.Go("flush", func(q *sim.Proc) {
+			for {
+				entry, ok := queue.TryPop()
+				if !ok {
+					return
+				}
+				if !force {
+					e.pace(q)
+				}
+				if e.stopReq && !e.draining && !force {
+					requeue = true
+					return
+				}
+				raced, err := e.flushChunk(q, gw, hostName, oid, entry)
+				if err != nil || raced {
+					requeue = true
+				}
+			}
+		}))
+	}
+	sim.WaitAll(p, sigs...)
+	if requeue {
+		e.stats.Requeued++
+		return gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
+			return store.NewTxn().Create().OmapSet(oid, nil), nil
+		})
+	}
+	return nil
+}
+
+// EvictStats reports one cold-eviction pass.
+type EvictStats struct {
+	ObjectsScanned int64
+	ChunksEvicted  int64
+	BytesEvicted   int64
+	SkippedHot     int64
+}
+
+// EvictCold is the cache agent's demotion pass (§4.3): clean, flushed
+// chunks still cached in metadata objects are evicted when their object has
+// gone cold, reclaiming metadata-pool space. (Flush handles dirty chunks;
+// this handles chunks kept cached because the object was hot at flush
+// time.)
+func (e *Engine) EvictCold(p *sim.Proc) EvictStats {
+	s := e.s
+	var stats EvictStats
+	gw := s.hostGW(anyHost(s))
+	for _, oid := range s.cluster.ListObjects(s.meta) {
+		if IsSystemObject(oid) {
+			continue
+		}
+		stats.ObjectsScanned++
+		if s.cache.Hot(p.Now(), oid) {
+			stats.SkippedHot++
+			continue
+		}
+		err := gw.Mutate(p, s.meta, oid, func(v rados.View) (*store.Txn, error) {
+			cm, err := loadChunkMap(v)
+			if err != nil {
+				return nil, err
+			}
+			txn := store.NewTxn()
+			changed := false
+			for i, entry := range cm.Entries {
+				if !entry.Cached || entry.Dirty || entry.ChunkID == "" {
+					continue
+				}
+				cm.Entries[i].Cached = false
+				txn.Zero(entry.Start, entry.Len())
+				stats.ChunksEvicted++
+				stats.BytesEvicted += entry.Len()
+				changed = true
+			}
+			if !changed {
+				return nil, nil
+			}
+			txn.SetXattr(XattrChunkMap, cm.Marshal())
+			return txn, nil
+		})
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			continue
+		}
+	}
+	return stats
+}
+
+// StartCacheAgent spawns a background demotion daemon that periodically
+// evicts cold cached chunks (the flush/evict agent role of Ceph's cache
+// tiering). It runs until RequestStop.
+func (e *Engine) StartCacheAgent(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	e.s.cluster.Engine().GoDaemon("dedup.cache-agent", func(p *sim.Proc) {
+		for !e.stopReq {
+			p.Sleep(interval)
+			if e.stopReq {
+				return
+			}
+			e.EvictCold(p)
+		}
+	})
+}
+
+// errCrash simulates a failure injected by a test hook.
+var errCrash = errors.New("core: injected crash")
+
+// flushChunk deduplicates one dirty chunk slot: read the cached bytes,
+// fingerprint (double hashing), de-reference the previous chunk if the slot
+// pointed elsewhere, write/incref the chunk object, then update the chunk
+// map. Returns raced=true when a concurrent client write invalidated the
+// flush (the slot stays dirty).
+func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid string, entry Entry) (raced bool, err error) {
+	s := e.s
+	data, err := gw.Read(p, s.meta, oid, entry.Start, entry.Len())
+	if err != nil {
+		return false, err
+	}
+	if int64(len(data)) < entry.Len() {
+		data = append(data, make([]byte, entry.Len()-int64(len(data)))...)
+	}
+	// Fingerprint: the content hash that doubles as the chunk-pool object ID.
+	if err := s.cluster.UseHostCPU(p, hostName, s.cluster.Cost().Hash(len(data))); err != nil {
+		return false, err
+	}
+	newID := FingerprintID(data)
+	ref := Ref{Pool: s.meta.ID, OID: oid, Offset: entry.Start}
+
+	// Step 3: if the slot already referenced a chunk, de-reference it first
+	// and wait for completion.
+	if entry.ChunkID != "" && entry.ChunkID != newID {
+		fn := decRefFn(ref)
+		if s.cfg.FalsePositiveRefs {
+			fn = dropRefFn(ref)
+		}
+		if err := gw.Mutate(p, s.chunk, entry.ChunkID, fn); err != nil && !errors.Is(err, ErrNotFound) {
+			return false, err
+		}
+	}
+	if e.hookAfterDeref != nil && e.hookAfterDeref(oid, entry) {
+		return false, errCrash
+	}
+
+	// Steps 4–5: create-or-incref at the content-addressed location.
+	existedBefore, _ := gw.Exists(p, s.chunk, newID)
+	if entry.ChunkID != newID {
+		if err := gw.MutateWithPayload(p, s.chunk, newID, len(data), putRefFn(data, ref)); err != nil {
+			return false, err
+		}
+	}
+	if existedBefore {
+		e.stats.DupChunks++
+	}
+	e.stats.ChunksFlushed++
+	e.stats.BytesFlushed += int64(len(data))
+	if e.hookAfterChunkPut != nil && e.hookAfterChunkPut(oid, entry) {
+		return false, errCrash
+	}
+
+	// Step 6: update the chunk map — only if no client write raced.
+	keepCached := s.cache.KeepCachedAfterFlush(p.Now(), oid)
+	if e.hookBeforeMapWrite != nil && e.hookBeforeMapWrite(oid, entry) {
+		return false, errCrash
+	}
+	raced = false
+	err = gw.Mutate(p, s.meta, oid, func(v rados.View) (*store.Txn, error) {
+		cur, err := loadChunkMap(v)
+		if err != nil {
+			return nil, err
+		}
+		i := cur.Find(entry.Start)
+		if i < 0 {
+			raced = true // slot disappeared (delete raced)
+			return nil, nil
+		}
+		cs := cur.Entries[i]
+		if cs.Gen != entry.Gen {
+			raced = true // newer write; leave dirty for the next cycle
+			return nil, nil
+		}
+		cs.ChunkID = newID
+		cs.Dirty = false
+		cs.Cached = keepCached
+		cur.Entries[i] = cs
+		txn := store.NewTxn().SetXattr(XattrChunkMap, cur.Marshal())
+		if !keepCached {
+			// Evict the flushed bytes from the metadata object (the object
+			// may end with "no data but only metadata", Fig. 8 object 2).
+			txn.Zero(cs.Start, cs.Len())
+		}
+		return txn, nil
+	})
+	if err == nil && raced && entry.ChunkID != newID {
+		// The slot changed under us: the reference we just took on newID is
+		// not recorded in any chunk map. Undo it so the chunk pool does not
+		// leak a reference (strict mode) — in false-positive mode the GC
+		// would reclaim it anyway.
+		fn := decRefFn(ref)
+		if s.cfg.FalsePositiveRefs {
+			fn = dropRefFn(ref)
+		}
+		if derr := gw.Mutate(p, s.chunk, newID, fn); derr != nil && !errors.Is(derr, ErrNotFound) {
+			return raced, derr
+		}
+	}
+	return raced, err
+}

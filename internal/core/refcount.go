@@ -1,0 +1,154 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"dedupstore/internal/rados"
+	"dedupstore/internal/store"
+)
+
+// Double hashing (§3.2): the chunk object's ID is the fingerprint of its
+// contents, so the cluster's placement hash maps equal chunks to the same
+// location and duplicates collapse with no fingerprint index at all.
+
+// FingerprintID returns the chunk-pool object ID for chunk contents.
+func FingerprintID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "chk." + hex.EncodeToString(sum[:])
+}
+
+// Chunk object metadata keys. The reference information the paper stores
+// with each chunk (§4.1: "pool id, source object ID, offset") lives in the
+// chunk object's own omap; the count is an xattr. RefEntryOverhead models
+// the paper's per-reference cost (§5: "the object in chunk pool uses
+// additional 64 bytes for reference").
+const (
+	XattrRefCount    = "dedup.rc"
+	refKeyPrefix     = "ref."
+	RefEntryOverhead = 64
+)
+
+// Ref identifies one reference from a metadata-object chunk slot to a chunk.
+type Ref struct {
+	Pool   uint64
+	OID    string
+	Offset int64
+}
+
+// Key returns the omap key for this reference, padded to the paper's
+// per-reference footprint.
+func (r Ref) Key() string {
+	k := fmt.Sprintf("%s%d|%s|%d", refKeyPrefix, r.Pool, r.OID, r.Offset)
+	for len(k) < RefEntryOverhead {
+		k += "."
+	}
+	return k
+}
+
+func encodeCount(n uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, n)
+	return b
+}
+
+func decodeCount(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// putRefFn builds the Mutate closure for §4.4.1 steps (4)–(5): "If there is
+// no object at the location ... store the object with reference count = 1.
+// If there is an object already stored at the location, add reference count
+// information." Executed under the chunk-pool PG lock, so create-vs-incref
+// races between concurrent dedup workers are serialized by the substrate.
+func putRefFn(data []byte, ref Ref) rados.MutateFn {
+	return putRefFnTracked(data, ref, nil)
+}
+
+// putRefFnTracked is putRefFn that additionally reports (via added) whether
+// the reference was newly recorded — false when this exact reference key
+// already existed (idempotent re-flush). Undo logic must only remove
+// references it actually added.
+func putRefFnTracked(data []byte, ref Ref, added *bool) rados.MutateFn {
+	return func(v rados.View) (*store.Txn, error) {
+		if added != nil {
+			*added = false
+		}
+		txn := store.NewTxn()
+		if !v.Exists() {
+			if added != nil {
+				*added = true
+			}
+			txn.WriteFull(data).
+				SetXattr(XattrRefCount, encodeCount(1)).
+				OmapSet(ref.Key(), nil)
+			return txn, nil
+		}
+		// Duplicate chunk: only reference info is added; the data write is
+		// avoided entirely — the core space saving.
+		if _, err := v.OmapGet(ref.Key()); err == nil {
+			return nil, nil // this exact reference already recorded (idempotent re-flush)
+		}
+		cur, err := v.GetXattr(XattrRefCount)
+		if err != nil {
+			return nil, err
+		}
+		if added != nil {
+			*added = true
+		}
+		txn.SetXattr(XattrRefCount, encodeCount(decodeCount(cur)+1)).
+			OmapSet(ref.Key(), nil)
+		return txn, nil
+	}
+}
+
+// decRefFn builds the Mutate closure for strict de-referencing: remove the
+// reference and delete the chunk object when the count reaches zero.
+func decRefFn(ref Ref) rados.MutateFn {
+	return func(v rados.View) (*store.Txn, error) {
+		if !v.Exists() {
+			return nil, nil // already gone (idempotent)
+		}
+		if _, err := v.OmapGet(ref.Key()); err != nil {
+			return nil, nil // reference not present (idempotent retry)
+		}
+		cur, err := v.GetXattr(XattrRefCount)
+		if err != nil {
+			return nil, err
+		}
+		n := decodeCount(cur)
+		txn := store.NewTxn()
+		if n <= 1 {
+			txn.Delete()
+			return txn, nil
+		}
+		txn.SetXattr(XattrRefCount, encodeCount(n-1)).OmapRm(ref.Key())
+		return txn, nil
+	}
+}
+
+// dropRefFn is the false-positive-refcount variant (§4.6 last paragraph:
+// "strictly locks on increment but no locking on decrement"): the reference
+// entry is removed but the chunk is never deleted inline — a garbage
+// collector reclaims zero-reference chunks later.
+func dropRefFn(ref Ref) rados.MutateFn {
+	return func(v rados.View) (*store.Txn, error) {
+		if !v.Exists() {
+			return nil, nil
+		}
+		if _, err := v.OmapGet(ref.Key()); err != nil {
+			return nil, nil
+		}
+		cur, _ := v.GetXattr(XattrRefCount)
+		n := decodeCount(cur)
+		if n > 0 {
+			n--
+		}
+		return store.NewTxn().SetXattr(XattrRefCount, encodeCount(n)).OmapRm(ref.Key()), nil
+	}
+}

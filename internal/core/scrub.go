@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+
+	"dedupstore/internal/sim"
+)
+
+// Dedup-aware scrub: on top of the substrate's replica/parity scrub, the
+// dedup layer can verify its own invariants — a chunk object's content must
+// hash to its own ID (double hashing makes bit-rot self-evident), every
+// chunk-map entry must point at an existing chunk, and reference counts
+// must agree with the recorded back references.
+
+// ScrubIssue describes one dedup-level inconsistency.
+type ScrubIssue struct {
+	OID    string // object (metadata or chunk) involved
+	Detail string
+}
+
+// ScrubReport summarizes a dedup scrub pass.
+type ScrubReport struct {
+	MetadataObjects int
+	ChunkObjects    int
+	BytesVerified   int64
+	Issues          []ScrubIssue
+}
+
+// Clean reports whether the scrub found no inconsistencies.
+func (r ScrubReport) Clean() bool { return len(r.Issues) == 0 }
+
+// Scrub verifies the dedup layer's invariants. It is read-only; use the
+// substrate's Cluster.Scrub(repair=true) to fix replica divergence, and GC
+// to reclaim stale references.
+func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
+	var rep ScrubReport
+	gw := s.hostGW(anyHost(s))
+
+	// 1. Chunk objects: content must hash to the object ID (the double-
+	// hashing invariant) and the refcount must equal the back-ref count.
+	for _, chunkOID := range s.cluster.ListObjects(s.chunk) {
+		rep.ChunkObjects++
+		data, err := gw.Read(p, s.chunk, chunkOID, 0, -1)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted concurrently
+			}
+			return rep, err
+		}
+		host, herr := s.cluster.PrimaryHost(s.chunk, chunkOID)
+		if herr == nil {
+			if err := s.cluster.UseHostCPU(p, host, s.cluster.Cost().Hash(len(data))); err != nil {
+				return rep, err
+			}
+		}
+		rep.BytesVerified += int64(len(data))
+		if got := FingerprintID(data); got != chunkOID {
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "content does not match fingerprint (bit rot)"})
+		}
+		refs, err := gw.OmapList(p, s.chunk, chunkOID, 0)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return rep, err
+		}
+		rcRaw, err := gw.GetXattr(p, s.chunk, chunkOID, XattrRefCount)
+		if err != nil {
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "missing refcount xattr"})
+			continue
+		}
+		if rc := decodeCount(rcRaw); int(rc) != len(refs) {
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "refcount disagrees with reference table"})
+		}
+	}
+
+	// 2. Metadata objects: every flushed entry must point at a live chunk.
+	for _, oid := range s.cluster.ListObjects(s.meta) {
+		if IsSystemObject(oid) {
+			continue
+		}
+		rep.MetadataObjects++
+		raw, err := gw.GetXattr(p, s.meta, oid, XattrChunkMap)
+		if err != nil {
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: oid, Detail: "missing chunk map"})
+			continue
+		}
+		cm, err := UnmarshalChunkMap(raw)
+		if err != nil {
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: oid, Detail: "corrupt chunk map"})
+			continue
+		}
+		for _, e := range cm.Entries {
+			if e.ChunkID == "" {
+				if !e.Cached {
+					rep.Issues = append(rep.Issues, ScrubIssue{OID: oid, Detail: "slot has neither chunk nor cached data"})
+				}
+				continue
+			}
+			if e.Cached || e.Dirty {
+				continue // data still (also) in the metadata object
+			}
+			ok, err := gw.Exists(p, s.chunk, e.ChunkID)
+			if err != nil {
+				return rep, err
+			}
+			if !ok {
+				rep.Issues = append(rep.Issues, ScrubIssue{OID: oid, Detail: "chunk map points at missing chunk " + e.ChunkID})
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dedupstore/internal/chunker"
+	"dedupstore/internal/hitset"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/store"
+)
+
+// Mode selects when deduplication happens.
+type Mode int
+
+// Dedup timing modes (§3.1 "Minimizing performance degradation").
+const (
+	// ModePostProcess is the paper's proposed design: writes land in the
+	// metadata pool; background threads deduplicate later.
+	ModePostProcess Mode = iota + 1
+	// ModeInline deduplicates on the write path (the baseline whose
+	// partial-write penalty Fig. 5a shows).
+	ModeInline
+	// ModeFlushThrough writes then immediately flushes to the chunk pool
+	// synchronously ("Proposed-flush" in Fig. 10).
+	ModeFlushThrough
+)
+
+// RateConfig is the watermark-based dedup rate control (§4.4.2).
+type RateConfig struct {
+	// Enabled turns throttling on. Disabled reproduces the Fig. 5b / Fig. 14
+	// interference baseline.
+	Enabled bool
+	// LowIOPS / HighIOPS are the foreground-load watermarks.
+	LowIOPS, HighIOPS float64
+	// OpsPerDedupAboveHigh: one dedup I/O per this many foreground I/Os when
+	// load exceeds HighIOPS (paper: 500).
+	OpsPerDedupAboveHigh int64
+	// OpsPerDedupMid: one dedup I/O per this many foreground I/Os between
+	// the watermarks (paper: 100).
+	OpsPerDedupMid int64
+}
+
+// DefaultRate returns the paper's rate-control settings.
+func DefaultRate() RateConfig {
+	return RateConfig{Enabled: true, LowIOPS: 1000, HighIOPS: 4000, OpsPerDedupAboveHigh: 500, OpsPerDedupMid: 100}
+}
+
+// Config configures a dedup Store.
+type Config struct {
+	// ChunkSize is the static chunking size (paper default 32 KiB, §6.1).
+	ChunkSize int64
+	// MetaPoolName / ChunkPoolName name the two pools (§4.2).
+	MetaPoolName, ChunkPoolName string
+	// MetaRedundancy / ChunkRedundancy are each pool's protection scheme
+	// ("each pool can separately select redundancy scheme", §4.2).
+	MetaRedundancy, ChunkRedundancy rados.Redundancy
+	// MetaDeviceClass / ChunkDeviceClass pin each pool to a device class
+	// ("" = any) — §4.2's "each pool can be placed to different storage
+	// location depending on the required performance": hot metadata (and
+	// cached chunks) on fast media, deduplicated chunks on cheap media.
+	MetaDeviceClass, ChunkDeviceClass string
+	// PGNum for both pools.
+	PGNum uint32
+	// Mode selects dedup timing (default post-processing).
+	Mode Mode
+	// Rate is the background dedup rate control.
+	Rate RateConfig
+	// HitSet configures the cache manager's hotness tracking (§4.3, §5).
+	HitSet hitset.Config
+	// KeepCachedWhenHot leaves a flushed chunk cached in the metadata object
+	// when the object is hot (cache manager policy). When false, every flush
+	// evicts.
+	KeepCachedWhenHot bool
+	// DedupThreads is the number of background dedup workers (§4.4.1).
+	DedupThreads int
+	// FlushParallel bounds concurrent chunk flushes within one object's
+	// flush (each worker pipelines this many chunk I/Os).
+	FlushParallel int
+	// ScanInterval is the idle poll period of the background workers.
+	ScanInterval time.Duration
+	// FalsePositiveRefs enables the §4.6 variant: no locking on decrement;
+	// zero-reference chunks are reclaimed by the garbage collector instead.
+	FalsePositiveRefs bool
+	// CDC switches the background flush to content-defined chunking (an
+	// extension of the paper's design; the paper uses static chunking for
+	// its lower CPU cost, §5). Only valid with ModePostProcess. ChunkSize
+	// still governs the write path's caching granularity.
+	CDC *chunker.CDC
+}
+
+// DefaultConfig mirrors the paper's evaluation setup: 32 KiB static chunks,
+// replicated ×2 pools, post-processing with rate control.
+func DefaultConfig() Config {
+	return Config{
+		ChunkSize:         32 << 10,
+		MetaPoolName:      "meta",
+		ChunkPoolName:     "chunk",
+		MetaRedundancy:    rados.ReplicatedN(2),
+		ChunkRedundancy:   rados.ReplicatedN(2),
+		PGNum:             64,
+		Mode:              ModePostProcess,
+		Rate:              DefaultRate(),
+		HitSet:            hitset.DefaultConfig(),
+		KeepCachedWhenHot: true,
+		DedupThreads:      2,
+		FlushParallel:     8,
+		ScanInterval:      50 * time.Millisecond,
+	}
+}
+
+// ErrNotFound is returned for absent objects.
+var ErrNotFound = rados.ErrNotFound
+
+// Store is the deduplicating object store: the paper's design layered on an
+// unmodified scale-out substrate.
+type Store struct {
+	cluster *rados.Cluster
+	cfg     Config
+	meta    *rados.Pool
+	chunk   *rados.Pool
+	chk     chunker.Fixed
+	cache   *CacheManager
+	engine  *Engine
+
+	hostGWs  map[string]*rados.Gateway
+	objLocks map[string]*sim.Resource // inline-mode per-object write locks
+}
+
+// Open creates (or errors on existing) the metadata and chunk pools and
+// returns the dedup store. The background engine is created but not started;
+// call StartEngine.
+func Open(cluster *rados.Cluster, cfg Config) (*Store, error) {
+	if cfg.ChunkSize <= 0 {
+		return nil, errors.New("core: ChunkSize must be positive")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModePostProcess
+	}
+	if cfg.DedupThreads < 1 {
+		cfg.DedupThreads = 1
+	}
+	if cfg.FlushParallel < 1 {
+		cfg.FlushParallel = 1
+	}
+	if cfg.CDC != nil && cfg.Mode != ModePostProcess {
+		return nil, errors.New("core: CDC requires post-processing mode")
+	}
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = 50 * time.Millisecond
+	}
+	meta, err := cluster.CreatePool(rados.PoolConfig{
+		Name: cfg.MetaPoolName, PGNum: cfg.PGNum, Redundancy: cfg.MetaRedundancy,
+		DeviceClass: cfg.MetaDeviceClass,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: create metadata pool: %w", err)
+	}
+	chunk, err := cluster.CreatePool(rados.PoolConfig{
+		Name: cfg.ChunkPoolName, PGNum: cfg.PGNum, Redundancy: cfg.ChunkRedundancy,
+		DeviceClass: cfg.ChunkDeviceClass,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: create chunk pool: %w", err)
+	}
+	s := &Store{
+		cluster:  cluster,
+		cfg:      cfg,
+		meta:     meta,
+		chunk:    chunk,
+		chk:      chunker.NewFixed(cfg.ChunkSize),
+		cache:    NewCacheManager(cfg.HitSet, cfg.KeepCachedWhenHot),
+		hostGWs:  make(map[string]*rados.Gateway),
+		objLocks: make(map[string]*sim.Resource),
+	}
+	s.engine = newEngine(s)
+	return s, nil
+}
+
+// Cluster returns the underlying substrate.
+func (s *Store) Cluster() *rados.Cluster { return s.cluster }
+
+// Config returns the store configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// MetaPool returns the metadata pool.
+func (s *Store) MetaPool() *rados.Pool { return s.meta }
+
+// ChunkPool returns the chunk pool.
+func (s *Store) ChunkPool() *rados.Pool { return s.chunk }
+
+// Engine returns the background dedup engine.
+func (s *Store) Engine() *Engine { return s.engine }
+
+// Cache returns the cache manager.
+func (s *Store) Cache() *CacheManager { return s.cache }
+
+// StartEngine spawns the background dedup workers (post-processing mode).
+func (s *Store) StartEngine() { s.engine.Start() }
+
+// hostGW returns the internal gateway for a storage host (created lazily).
+func (s *Store) hostGW(hostName string) *rados.Gateway {
+	gw, ok := s.hostGWs[hostName]
+	if !ok {
+		var err error
+		gw, err = s.cluster.HostGateway(hostName)
+		if err != nil {
+			panic(err)
+		}
+		s.hostGWs[hostName] = gw
+	}
+	return gw
+}
+
+// metaPrimaryGW returns the internal gateway co-located with the metadata
+// object's primary OSD — where server-side dedup work for that object runs.
+func (s *Store) metaPrimaryGW(oid string) (*rados.Gateway, string, error) {
+	hostName, err := s.cluster.PrimaryHost(s.meta, oid)
+	if err != nil {
+		return nil, "", err
+	}
+	return s.hostGW(hostName), hostName, nil
+}
+
+// dirtyListOID returns the per-PG dirty object ID list's object name
+// (Fig. 8 "Dirty Obj ID List"). Kept in the metadata pool so it is
+// replicated and recovered like everything else.
+func (s *Store) dirtyListOID(oid string) string {
+	pg := s.cluster.PGOf(s.meta, oid)
+	return fmt.Sprintf("sys.dirty.%d", pg.Seq)
+}
+
+// dirtyListAll enumerates every dirty-list object name.
+func (s *Store) dirtyListAll() []string {
+	out := make([]string, 0, s.meta.PGNum)
+	for seq := uint32(0); seq < s.meta.PGNum; seq++ {
+		out = append(out, fmt.Sprintf("sys.dirty.%d", seq))
+	}
+	return out
+}
+
+// IsSystemObject reports whether a metadata-pool object name is internal
+// dedup state rather than a user object.
+func IsSystemObject(oid string) bool {
+	return len(oid) >= 4 && oid[:4] == "sys."
+}
+
+// Client opens a user session with its own network link.
+type Client struct {
+	s  *Store
+	gw *rados.Gateway
+}
+
+// Client returns a client session named name.
+func (s *Store) Client(name string) *Client {
+	return &Client{s: s, gw: s.cluster.NewGateway(name)}
+}
+
+// --- Write path (§4.5) -------------------------------------------------------
+
+// Write stores data at offset off in object oid. In post-processing mode
+// this is steps (1)-(4) of §4.5: place data in the metadata object, mark
+// chunk-map entries cached+dirty, and log the object in the dirty list; no
+// fingerprinting happens on this path.
+func (cl *Client) Write(p *sim.Proc, oid string, off int64, data []byte) error {
+	s := cl.s
+	if len(data) == 0 {
+		return nil
+	}
+	s.cache.RecordAccess(p.Now(), oid)
+
+	if s.cfg.Mode == ModeInline {
+		return cl.inlineWrite(p, oid, off, data)
+	}
+	if s.cfg.CDC != nil {
+		return cl.cdcWrite(p, oid, off, data)
+	}
+
+	proxyGW, _, err := s.metaPrimaryGW(oid)
+	if err != nil {
+		return err
+	}
+	err = cl.gw.MutateWithPayload(p, s.meta, oid, len(data), func(v rados.View) (*store.Txn, error) {
+		cm, err := loadChunkMap(v)
+		if err != nil {
+			return nil, err
+		}
+		txn := store.NewTxn()
+		// Pre-read (§4.5 write step 2): when a sub-chunk write lands on a
+		// slot whose bytes live only in the chunk pool, the primary fetches
+		// the missing part so the slot becomes a complete cached chunk.
+		end := off + int64(len(data))
+		for _, i := range cm.FindRange(s.chk.AlignDown(off), s.chk.AlignUp(end)-s.chk.AlignDown(off)) {
+			e := cm.Entries[i]
+			if e.Cached || e.ChunkID == "" || (off <= e.Start && end >= e.End) {
+				continue
+			}
+			chunkData, err := proxyGW.Read(p, s.chunk, e.ChunkID, 0, e.Len())
+			if err != nil {
+				return nil, fmt.Errorf("core: pre-read chunk %s: %w", e.ChunkID, err)
+			}
+			txn.Write(e.Start, chunkData)
+		}
+		txn.Write(off, data)
+		for _, c := range s.chk.Split(off, data) {
+			slotStart := s.chk.AlignDown(c.Offset)
+			var cur Entry
+			if i := cm.Find(slotStart); i >= 0 {
+				cur = cm.Entries[i]
+			} else {
+				cur = Entry{Start: slotStart, End: slotStart}
+			}
+			if c.End() > cur.End {
+				cur.End = c.End()
+			}
+			cur.Cached = true
+			cur.Dirty = true
+			cur.Gen++
+			cm.Upsert(cur)
+		}
+		txn.SetXattr(XattrChunkMap, cm.Marshal())
+		return txn, nil
+	})
+	if err != nil {
+		return err
+	}
+	// Step (4): log the object ID for the background dedup engine. The log
+	// append does not gate the client's ack — the authoritative dirty state
+	// is the chunk map's dirty bits, written transactionally above (§4.6).
+	p.Go("dirty-log", func(q *sim.Proc) {
+		_ = cl.gw.Mutate(q, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
+			return store.NewTxn().Create().OmapSet(oid, nil), nil
+		})
+	})
+	if s.cfg.Mode == ModeFlushThrough {
+		// "Proposed-flush": deduplicate immediately (Fig. 10 worst case).
+		gw, hostName, err := s.metaPrimaryGW(oid)
+		if err != nil {
+			return err
+		}
+		return s.engine.flushObject(p, gw, hostName, oid, true)
+	}
+	return nil
+}
+
+// --- Read path (§4.5) --------------------------------------------------------
+
+// Read returns length bytes at off (length < 0 reads to the object end).
+// Cached chunks are served from the metadata object (step 4a); non-cached
+// chunks are proxied through the metadata primary to the chunk pool
+// (step 4b — the redirection whose cost Fig. 10/11 quantify).
+func (cl *Client) Read(p *sim.Proc, oid string, off, length int64) ([]byte, error) {
+	s := cl.s
+	s.cache.RecordAccess(p.Now(), oid)
+	// The chunk-map lookup happens at the metadata primary as part of
+	// serving the read (§4.5 read steps 2-3); the request hop is charged
+	// here, the map lookup rides the data ops below.
+	p.Sleep(s.cluster.Cost().NetLatency)
+	raw, err := cl.gw.PeekXattr(s.meta, oid, XattrChunkMap)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := UnmarshalChunkMap(raw)
+	if err != nil {
+		return nil, err
+	}
+	size := cm.Size()
+	if off >= size {
+		return nil, nil
+	}
+	if length < 0 || off+length > size {
+		length = size - off
+	}
+	if length <= 0 {
+		return nil, nil
+	}
+	out := make([]byte, length)
+	idxs := cm.FindRange(off, length)
+	proxyGW, _, err := s.metaPrimaryGW(oid)
+	if err != nil {
+		return nil, err
+	}
+	var sigs []*sim.Signal
+	var firstErr error
+	proxied := 0
+	for _, i := range idxs {
+		e := cm.Entries[i]
+		rStart := max64(off, e.Start)
+		rEnd := min64(off+length, e.End)
+		if rStart >= rEnd {
+			continue
+		}
+		if e.Cached {
+			sigs = append(sigs, p.Go("read-cached", func(q *sim.Proc) {
+				data, err := cl.gw.Read(q, s.meta, oid, rStart, rEnd-rStart)
+				if err != nil {
+					firstErr = err
+					return
+				}
+				copy(out[rStart-off:], data)
+			}))
+			continue
+		}
+		// Redirection: metadata primary fetches from the chunk pool, then
+		// forwards to the client.
+		proxied += int(rEnd - rStart)
+		sigs = append(sigs, p.Go("read-redirect", func(q *sim.Proc) {
+			data, err := proxyGW.Read(q, s.chunk, e.ChunkID, rStart-e.Start, rEnd-rStart)
+			if err != nil {
+				firstErr = fmt.Errorf("core: chunk %s: %w", e.ChunkID, err)
+				return
+			}
+			copy(out[rStart-off:], data)
+		}))
+	}
+	sim.WaitAll(p, sigs...)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if proxied > 0 {
+		cl.gw.ClientXfer(p, proxied) // final hop: metadata primary -> client
+	}
+	return out, nil
+}
+
+// Stat returns the object's logical size from its chunk map.
+func (cl *Client) Stat(p *sim.Proc, oid string) (int64, error) {
+	raw, err := cl.gw.GetXattr(p, cl.s.meta, oid, XattrChunkMap)
+	if err != nil {
+		return 0, err
+	}
+	cm, err := UnmarshalChunkMap(raw)
+	if err != nil {
+		return 0, err
+	}
+	return cm.Size(), nil
+}
+
+// Delete removes the object, de-referencing every chunk it points to.
+func (cl *Client) Delete(p *sim.Proc, oid string) error {
+	s := cl.s
+	raw, err := cl.gw.GetXattr(p, s.meta, oid, XattrChunkMap)
+	if err != nil {
+		return err
+	}
+	cm, err := UnmarshalChunkMap(raw)
+	if err != nil {
+		return err
+	}
+	for _, e := range cm.Entries {
+		if e.ChunkID == "" {
+			continue
+		}
+		ref := Ref{Pool: s.meta.ID, OID: oid, Offset: e.Start}
+		fn := decRefFn(ref)
+		if s.cfg.FalsePositiveRefs {
+			fn = dropRefFn(ref)
+		}
+		if err := cl.gw.Mutate(p, s.chunk, e.ChunkID, fn); err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+	}
+	if err := cl.gw.Delete(p, s.meta, oid); err != nil {
+		return err
+	}
+	return cl.gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
+		return store.NewTxn().Create().OmapRm(oid), nil
+	})
+}
+
+// --- Inline baseline (§3.1, Fig. 5a) -----------------------------------------
+
+// inlineWrite deduplicates synchronously on the write path: every chunk is
+// fingerprinted and sent to the chunk pool before the ack; sub-chunk writes
+// force a read-modify-write of the whole chunk. Inline writes to one object
+// are serialized (librbd-style client stripe locking) because the chunk-map
+// read-modify-write spans several cluster operations.
+func (cl *Client) inlineWrite(p *sim.Proc, oid string, off int64, data []byte) error {
+	s := cl.s
+	lock, ok := s.objLocks[oid]
+	if !ok {
+		lock = sim.NewResource("inline."+oid, 1)
+		s.objLocks[oid] = lock
+	}
+	lock.Acquire(p)
+	defer lock.Release(p)
+	hostName, err := s.cluster.PrimaryHost(s.meta, oid)
+	if err != nil {
+		return err
+	}
+	raw, _ := cl.gw.GetXattr(p, s.meta, oid, XattrChunkMap)
+	cm, err := UnmarshalChunkMap(raw)
+	if err != nil {
+		return err
+	}
+	for _, c := range s.chk.Split(off, data) {
+		slotStart := s.chk.AlignDown(c.Offset)
+		var cur Entry
+		if i := cm.Find(slotStart); i >= 0 {
+			cur = cm.Entries[i]
+		} else {
+			cur = Entry{Start: slotStart, End: slotStart}
+		}
+		full := c.Data
+		// Partial-write problem: read-modify-write of the full chunk.
+		if c.Offset > cur.Start || (c.End() < cur.End && cur.ChunkID != "") {
+			var base []byte
+			if cur.ChunkID != "" {
+				base, err = cl.gw.Read(p, s.chunk, cur.ChunkID, 0, cur.Len())
+				if err != nil {
+					return err
+				}
+			}
+			merged := make([]byte, max64(cur.End, c.End())-cur.Start)
+			copy(merged, base)
+			copy(merged[c.Offset-cur.Start:], c.Data)
+			full = merged
+		}
+		if c.End() > cur.End {
+			cur.End = c.End()
+		}
+		// Fingerprint on the write path (inline's latency cost).
+		if err := s.cluster.UseHostCPU(p, hostName, s.cluster.Cost().Hash(len(full))); err != nil {
+			return err
+		}
+		newID := FingerprintID(full)
+		ref := Ref{Pool: s.meta.ID, OID: oid, Offset: cur.Start}
+		if cur.ChunkID != "" && cur.ChunkID != newID {
+			if err := cl.gw.Mutate(p, s.chunk, cur.ChunkID, decRefFn(ref)); err != nil {
+				return err
+			}
+		}
+		if cur.ChunkID != newID {
+			if err := cl.gw.MutateWithPayload(p, s.chunk, newID, len(full), putRefFn(full, ref)); err != nil {
+				return err
+			}
+		}
+		cur.ChunkID = newID
+		cur.Cached = false
+		cur.Dirty = false
+		cm.Upsert(cur)
+	}
+	return cl.gw.Mutate(p, s.meta, oid, func(rados.View) (*store.Txn, error) {
+		return store.NewTxn().Create().SetXattr(XattrChunkMap, cm.Marshal()), nil
+	})
+}
+
+// loadChunkMap reads the chunk map from a mutate view.
+func loadChunkMap(v rados.View) (*ChunkMap, error) {
+	raw, err := v.GetXattr(XattrChunkMap)
+	if err != nil {
+		return &ChunkMap{}, nil // absent: new object
+	}
+	return UnmarshalChunkMap(raw)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

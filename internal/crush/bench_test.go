@@ -1,0 +1,27 @@
+package crush
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMapPG(b *testing.B) {
+	m := NewMap()
+	for h := 0; h < 16; h++ {
+		for d := 0; d < 8; d++ {
+			m.AddOSD(h*8+d, fmt.Sprintf("host%d", h), 1.0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set := m.MapPG(PG{Pool: 1, Seq: uint32(i % 4096)}, 3); len(set) != 3 {
+			b.Fatal("bad mapping")
+		}
+	}
+}
+
+func BenchmarkPGForObject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PGForObject(1, 4096, "rbd_data.1234567890abcdef.000000000000002a")
+	}
+}

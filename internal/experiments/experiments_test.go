@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the experiment smoke tests fast.
+var tinyScale = Scale{Data: 0.1}
+
+func TestFig3ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows := Fig3(tinyScale)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Global <= r.Local {
+			t.Errorf("%s: global %.1f <= local %.1f", r.Workload, r.Global, r.Local)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows := Table1(tinyScale)
+	if rows[0].Local <= rows[3].Local {
+		t.Errorf("local ratio did not collapse with OSD count: %.1f -> %.1f", rows[0].Local, rows[3].Local)
+	}
+	for _, r := range rows {
+		if r.Global < 40 || r.Global > 60 {
+			t.Errorf("global ratio %.1f far from 50%%", r.Global)
+		}
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows := Fig5a(tinyScale)
+	if rows[1].Throughput >= rows[0].Throughput {
+		t.Errorf("inline 16K (%.1f) not slower than original (%.1f)", rows[1].Throughput, rows[0].Throughput)
+	}
+	if rows[2].Throughput <= rows[1].Throughput {
+		t.Errorf("aligned 32K (%.1f) not faster than partial 16K (%.1f)", rows[2].Throughput, rows[1].Throughput)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows := Fig10(tinyScale)
+	lat := map[string]float64{}
+	for _, r := range rows {
+		if r.Op == "randwrite" {
+			lat[r.Config] = float64(r.Latency)
+		}
+	}
+	if !(lat["Original"] < lat["Proposed"] && lat["Proposed"] < lat["Proposed-flush"]) {
+		t.Errorf("write latency ordering wrong: %v", lat)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows := Table2(tinyScale)
+	if !(rows[0].StoredMetadata > rows[1].StoredMetadata && rows[1].StoredMetadata > rows[2].StoredMetadata) {
+		t.Errorf("metadata not shrinking with chunk size: %d/%d/%d",
+			rows[0].StoredMetadata, rows[1].StoredMetadata, rows[2].StoredMetadata)
+	}
+	if rows[0].IdealRatio < rows[2].IdealRatio {
+		t.Errorf("ideal ratio not declining: %.1f -> %.1f", rows[0].IdealRatio, rows[2].IdealRatio)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows := Table3(tinyScale)
+	for _, r := range rows {
+		if r.ProposedMoved >= r.OriginalMoved {
+			t.Errorf("%d failed: proposed moved %d >= original %d", r.FailedOSDs, r.ProposedMoved, r.OriginalMoved)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	series := Fig13(tinyScale)
+	byLabel := map[string][]int64{}
+	for _, s := range series {
+		byLabel[s.Label] = s.UsedBytes
+	}
+	last := func(l string) int64 { u := byLabel[l]; return u[len(u)-1] }
+	if last("rep+dedup") >= last("rep")/5 {
+		t.Errorf("dedup saving too small: %d vs %d", last("rep+dedup"), last("rep"))
+	}
+	if last("rep+dedup+comp") >= last("rep+dedup") {
+		t.Errorf("compression did not help: %d vs %d", last("rep+dedup+comp"), last("rep+dedup"))
+	}
+	if last("ec") >= last("rep") {
+		t.Errorf("EC not cheaper than replication: %d vs %d", last("ec"), last("rep"))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "t",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n"},
+	}
+	out := tab.String()
+	for _, want := range []string{"== t ==", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	sc := Scale{Data: 0.5}
+	if sc.bytes(100) != 50 || sc.count(10) != 5 {
+		t.Fatal("scale math wrong")
+	}
+	if (Scale{}).bytes(7) != 7 {
+		t.Fatal("zero scale must pass through")
+	}
+	if (Scale{Data: 0.0001}).count(10) != 1 {
+		t.Fatal("count must clamp to 1")
+	}
+}

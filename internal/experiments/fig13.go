@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dedupstore/internal/client"
+	"dedupstore/internal/compressfs"
+	"dedupstore/internal/core"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/store"
+	"dedupstore/internal/workload"
+)
+
+// Fig13Series is one line of Figure 13: cumulative storage footprint as VM
+// images are added, for one redundancy/dedup/compression combination.
+type Fig13Series struct {
+	Label string
+	// UsedBytes[i] is the total footprint after writing image i+1.
+	UsedBytes []int64
+}
+
+// Fig13 reproduces Figure 13: ten identical-OS VM images written as thick
+// images (zeros included, as the paper's 8GB images were), under
+// replication, EC, and their combinations with deduplication and node-local
+// (Btrfs-style) compression. Deduplication collapses the shared OS blocks
+// and the zero blocks; compression shrinks what remains.
+func Fig13(sc Scale) []Fig13Series {
+	images := 10
+	imgCfg := workload.VMImageConfig{
+		ImageSize: sc.bytes(8 << 20), // paper: 8GB images
+		OSFrac:    0.07,
+		HomeFrac:  0.0125,
+		BlockSize: 32 << 10,
+		Seed:      801,
+		Thick:     true,
+	}
+
+	type cfg struct {
+		label    string
+		red      rados.Redundancy
+		dedup    bool
+		compress bool
+	}
+	cases := []cfg{
+		{"rep", rados.ReplicatedN(2), false, false},
+		{"ec", rados.ErasureKM(2, 1), false, false},
+		{"rep+dedup", rados.ReplicatedN(2), true, false},
+		{"rep+dedup+comp", rados.ReplicatedN(2), true, true},
+		{"ec+dedup", rados.ErasureKM(2, 1), true, false},
+		{"ec+dedup+comp", rados.ErasureKM(2, 1), true, true},
+	}
+
+	var out []Fig13Series
+	for ci, c := range cases {
+		var opts []rados.Option
+		if c.compress {
+			opts = append(opts, rados.WithStoreOptions(store.WithSizeFn(compressfs.Default())))
+		}
+		h := newHarness(810+int64(ci), 4, 4, opts...)
+		series := Fig13Series{Label: c.label}
+
+		var s *core.Store
+		var rawPool *rados.Pool
+		var gwRaw *rados.Gateway
+		if c.dedup {
+			s = h.dedupStore(func(dc *core.Config) {
+				dc.ChunkRedundancy = c.red
+				dc.Rate.Enabled = false
+				dc.HitSet.HitCount = 1000
+				dc.DedupThreads = 8
+			})
+		} else {
+			rawPool, gwRaw = h.rawPool("vmpool", c.red)
+		}
+
+		usage := func() int64 {
+			if c.dedup {
+				return h.c.PoolStats(s.MetaPool()).StoredTotal() + h.c.PoolStats(s.ChunkPool()).StoredTotal()
+			}
+			return h.c.PoolStats(rawPool).StoredTotal()
+		}
+
+		for vm := 0; vm < images; vm++ {
+			name := fmt.Sprintf("vm%d", vm)
+			var dev *client.BlockDevice
+			var err error
+			if c.dedup {
+				dev = h.dedupDevice(name, imgCfg.ImageSize, s)
+			} else {
+				dev, err = client.NewBlockDevice(name, imgCfg.ImageSize, 1<<20,
+					&client.RawBackend{GW: gwRaw, Pool: rawPool})
+				if err != nil {
+					panic(err)
+				}
+			}
+			vm := vm
+			h.run(func(p *sim.Proc) {
+				if err := workload.WriteVMImage(p, dev, imgCfg, vm); err != nil {
+					panic(err)
+				}
+				if c.dedup {
+					s.Engine().DrainAndWait(p)
+				}
+			})
+			series.UsedBytes = append(series.UsedBytes, usage())
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
+// Fig13Table renders Fig13 as cumulative image-count rows.
+func Fig13Table(series []Fig13Series) Table {
+	t := Table{
+		Title:   "Figure 13: cumulative VM-image footprint (thick 8GB-scaled images)",
+		Columns: []string{"images"},
+		Notes: []string{
+			"paper shape: rep 160GB, EC 120GB; rep+dedup ~2.2GB with ~200MB per extra image; ec+dedup+comp lowest",
+		},
+	}
+	for _, s := range series {
+		t.Columns = append(t.Columns, s.Label)
+	}
+	n := 0
+	for _, s := range series {
+		if len(s.UsedBytes) > n {
+			n = len(s.UsedBytes)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprint(i + 1)}
+		for _, s := range series {
+			if i < len(s.UsedBytes) {
+				row = append(row, mb(s.UsedBytes[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dedupstore/internal/client"
+	"dedupstore/internal/core"
+	"dedupstore/internal/metrics"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/workload"
+)
+
+// Fig5aRow is one bar of Figure 5-(a): sequential-write throughput when the
+// write block is smaller than the dedup chunk.
+type Fig5aRow struct {
+	Config     string
+	BlockSize  int64
+	Throughput float64 // MB/s
+}
+
+// Fig5a reproduces Figure 5-(a), the partial-write problem of inline
+// deduplication: 16KB sequential writes against a 32KB-chunk inline dedup
+// store force a read-modify-write per chunk, collapsing throughput versus
+// the original store (and versus chunk-aligned 32KB writes).
+func Fig5a(sc Scale) []Fig5aRow {
+	span := sc.bytes(8 << 20)
+	runCase := func(name string, bs int64, inline bool) Fig5aRow {
+		h := newHarness(201, 4, 4)
+		var dev *client.BlockDevice
+		if inline {
+			s := h.dedupStore(func(cfg *core.Config) {
+				cfg.Mode = core.ModeInline
+				cfg.ChunkSize = 32 << 10
+			})
+			dev = h.dedupDevice("img", span, s)
+		} else {
+			dev = h.rawDevice("img", span, 0, rados.ReplicatedN(2))
+		}
+		var res workload.FIOResult
+		h.run(func(p *sim.Proc) {
+			// Two sequential passes: the second pass hits chunks that inline
+			// dedup already flushed, so sub-chunk writes must pre-read them.
+			cfg := workload.FIOConfig{
+				BlockSize: bs, Span: span, Pattern: workload.SeqWrite,
+				Threads: 4, IODepth: 4, Seed: 51, Ops: int(2 * span / bs),
+			}
+			res = workload.RunFIO(p, dev, cfg)
+			if res.Errors > 0 {
+				panic(fmt.Sprintf("fig5a %s: %d errors", name, res.Errors))
+			}
+		})
+		return Fig5aRow{Config: name, BlockSize: bs, Throughput: res.Throughput()}
+	}
+	return []Fig5aRow{
+		runCase("Original, 16KB writes", 16<<10, false),
+		runCase("Inline dedup, 16KB writes (partial-write RMW)", 16<<10, true),
+		runCase("Inline dedup, 32KB writes (chunk-aligned)", 32<<10, true),
+	}
+}
+
+// Fig5aTable renders Fig5a.
+func Fig5aTable(rows []Fig5aRow) Table {
+	t := Table{
+		Title:   "Figure 5-(a): inline dedup partial-write problem (seq write)",
+		Columns: []string{"config", "block", "MB/s"},
+		Notes:   []string{"shape target: inline 16KB << original 16KB (read-modify-write per 32KB chunk)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Config, fmt.Sprintf("%dKB", r.BlockSize>>10), f1(r.Throughput)})
+	}
+	return t
+}
+
+// TimelinePoint is one second of a foreground-throughput timeline.
+type TimelinePoint struct {
+	Second int
+	MBps   float64
+}
+
+// InterferenceResult is a Fig5b/Fig14 timeline.
+type InterferenceResult struct {
+	Label  string
+	Points []TimelinePoint
+	// SteadyBefore/SteadyAfter are mean MB/s before/after the background
+	// engine starts.
+	SteadyBefore, SteadyAfter float64
+}
+
+// foregroundWithEngine runs a sequential foreground writer for total
+// seconds, starting the dedup engine (if s != nil) at engineStart.
+func foregroundWithEngine(h *harness, s *core.Store, dev *client.BlockDevice,
+	span int64, total, engineStart time.Duration, label string) InterferenceResult {
+
+	rec := metrics.NewRecorder()
+	gen := workload.NewFIOGen(workload.FIOConfig{BlockSize: 512 << 10, Span: span, DedupPct: 50, Seed: 61})
+	const workers = 8
+	h.runUntil(sim.Time(total), func(p *sim.Proc) {
+		if s != nil {
+			h.eng.After(engineStart, func() { s.StartEngine() })
+		}
+		blocks := span / (512 << 10)
+		next := int64(0)
+		for w := 0; w < workers; w++ {
+			p.Go("fg", func(q *sim.Proc) {
+				for q.Now() < sim.Time(total) {
+					off := (next % blocks) * (512 << 10)
+					next++
+					opStart := q.Now()
+					if err := dev.WriteAt(q, off, gen.NextBlock()); err != nil {
+						panic(err)
+					}
+					rec.Record(q.Now(), (q.Now() - opStart).Duration(), 512<<10)
+				}
+			})
+		}
+	})
+	res := InterferenceResult{Label: label}
+	pts := rec.Series.Points()
+	for i, pt := range pts {
+		res.Points = append(res.Points, TimelinePoint{Second: i, MBps: pt.MBps(rec.Series.Interval())})
+	}
+	startSec := int(engineStart / time.Second)
+	res.SteadyBefore = rec.Series.MeanMBps(1, startSec)
+	res.SteadyAfter = rec.Series.MeanMBps(startSec+1, len(pts))
+	return res
+}
+
+// Fig5b reproduces Figure 5-(b): a foreground sequential write stream is
+// throttled hard when an un-rate-limited background dedup engine starts.
+func Fig5b(sc Scale) InterferenceResult {
+	h := newHarness(202, 4, 4)
+	s := h.dedupStore(func(cfg *core.Config) {
+		cfg.Rate.Enabled = false // the problem case: no rate control
+		cfg.DedupThreads = 32
+		cfg.FlushParallel = 16
+		cfg.HitSet.HitCount = 1000 // no hot exemption: everything is a target
+	})
+	span := sc.bytes(16 << 20)
+	dev := h.dedupDevice("img", span, s)
+	total := scaledDuration(sc, 24*time.Second)
+	return foregroundWithEngine(h, s, dev, span, total, total/3,
+		"post-processing dedup w/o rate control")
+}
+
+// Fig5bTable renders the interference timeline.
+func Fig5bTable(r InterferenceResult) Table {
+	t := Table{
+		Title:   "Figure 5-(b): foreground interference from background dedup (" + r.Label + ")",
+		Columns: []string{"second", "foreground MB/s"},
+		Notes: []string{
+			fmt.Sprintf("steady before engine start: %.0f MB/s; after: %.0f MB/s", r.SteadyBefore, r.SteadyAfter),
+			"shape target: pronounced throughput drop once background dedup starts (paper: 600 -> 200 MB/s)",
+		},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{fmt.Sprint(pt.Second), f1(pt.MBps)})
+	}
+	return t
+}
+
+// Fig14 reproduces Figure 14: the same foreground stream under (1) no
+// dedup, (2) background dedup without rate control, and (3) background
+// dedup with watermark rate control — rate control recovers most of the
+// foreground throughput.
+func Fig14(sc Scale) []InterferenceResult {
+	span := sc.bytes(16 << 20)
+	total := scaledDuration(sc, 24*time.Second)
+	engStart := total / 3
+
+	var out []InterferenceResult
+
+	{ // Ideal: no deduplication at all.
+		h := newHarness(203, 4, 4)
+		s := h.dedupStore(func(cfg *core.Config) {
+			cfg.HitSet.HitCount = 1000
+		})
+		dev := h.dedupDevice("img", span, s)
+		r := foregroundWithEngine(h, nil, dev, span, total, engStart, "no deduplication (ideal)")
+		_ = s
+		out = append(out, r)
+	}
+	{ // Dedup without rate control.
+		h := newHarness(204, 4, 4)
+		s := h.dedupStore(func(cfg *core.Config) {
+			cfg.Rate.Enabled = false
+			cfg.DedupThreads = 32
+			cfg.FlushParallel = 16
+			cfg.HitSet.HitCount = 1000
+		})
+		dev := h.dedupDevice("img", span, s)
+		out = append(out, foregroundWithEngine(h, s, dev, span, total, engStart, "dedup w/o rate control"))
+	}
+	{ // Dedup with watermark rate control.
+		h := newHarness(205, 4, 4)
+		s := h.dedupStore(func(cfg *core.Config) {
+			cfg.Rate = core.RateConfig{Enabled: true, LowIOPS: 100, HighIOPS: 500, OpsPerDedupAboveHigh: 500, OpsPerDedupMid: 100}
+			cfg.DedupThreads = 32
+			cfg.FlushParallel = 16
+			cfg.HitSet.HitCount = 1000
+		})
+		dev := h.dedupDevice("img", span, s)
+		out = append(out, foregroundWithEngine(h, s, dev, span, total, engStart, "dedup w/ rate control"))
+	}
+	return out
+}
+
+// Fig14Table renders the three rate-control timelines side by side.
+func Fig14Table(rs []InterferenceResult) Table {
+	t := Table{
+		Title:   "Figure 14: dedup rate control (foreground MB/s per second)",
+		Columns: []string{"second"},
+		Notes:   []string{"shape target: w/ rate control stays near ideal; w/o control drops hard (paper: ~500-600 vs ~200 MB/s)"},
+	}
+	maxLen := 0
+	for _, r := range rs {
+		t.Columns = append(t.Columns, r.Label)
+		if len(r.Points) > maxLen {
+			maxLen = len(r.Points)
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: before=%.0f MB/s after=%.0f MB/s", r.Label, r.SteadyBefore, r.SteadyAfter))
+	}
+	for i := 0; i < maxLen; i++ {
+		row := []string{fmt.Sprint(i)}
+		for _, r := range rs {
+			if i < len(r.Points) {
+				row = append(row, f1(r.Points[i].MBps))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dedupstore/internal/chunker"
+	"dedupstore/internal/core"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/workload"
+)
+
+// Table2Row is one column of Table 2: the chunk-size trade-off on the
+// private-cloud dataset.
+type Table2Row struct {
+	ChunkSize      int64
+	IdealRatio     float64 // dedup ratio of the data alone
+	StoredData     int64   // post-dedup data bytes
+	StoredMetadata int64   // chunk maps, references, per-object overheads
+	ActualRatio    float64 // ratio including metadata cost
+	PaperIdeal     float64
+	PaperActual    float64
+}
+
+// Table2 reproduces Table 2: "Deduplication ratio comparison based on chunk
+// size of 16KB, 32KB, and 64KB" on the private-cloud dataset. Small chunks
+// find more duplicate data but pay proportionally more metadata (150B map
+// entries, 64B references, 512B per-object overheads — §5), so the actual
+// ratio inverts the ideal ordering.
+func Table2(sc Scale) []Table2Row {
+	paper := map[int64][2]float64{
+		16 << 10: {46.4, 41.7},
+		32 << 10: {44.8, 42.4},
+		64 << 10: {43.7, 43.3},
+	}
+	gen := workload.NewCloudGen(workload.CloudConfig{
+		Objects: sc.countMin(16, 8), ObjectSize: 2 << 20, Seed: 501,
+	})
+	contents := make([][]byte, gen.Config().Objects)
+	var logical int64
+	for i := range contents {
+		contents[i] = gen.ObjectContent(i)
+		logical += int64(len(contents[i]))
+	}
+
+	var rows []Table2Row
+	for _, cs := range []int64{16 << 10, 32 << 10, 64 << 10} {
+		// Ideal ratio: content analysis only.
+		chk := chunker.NewFixed(cs)
+		seen := map[string]bool{}
+		var total, unique int64
+		for _, data := range contents {
+			for _, c := range chk.Split(0, data) {
+				total += int64(len(c.Data))
+				id := core.FingerprintID(c.Data)
+				if !seen[id] {
+					seen[id] = true
+					unique += int64(len(c.Data))
+				}
+			}
+		}
+		ideal := 100 * float64(total-unique) / float64(total)
+
+		// Actual: store through the dedup design. Replication factor 1 on
+		// both pools, matching the paper's accounting ("calculated under
+		// excluding the redundancy caused by replication").
+		h := newHarness(502, 4, 4)
+		s := h.dedupStore(func(cfg *core.Config) {
+			cfg.ChunkSize = cs
+			cfg.MetaRedundancy = rados.ReplicatedN(1)
+			cfg.ChunkRedundancy = rados.ReplicatedN(1)
+			cfg.Rate.Enabled = false
+			cfg.HitSet.HitCount = 1000
+			cfg.DedupThreads = 8
+		})
+		cl := s.Client("loader")
+		h.run(func(p *sim.Proc) {
+			for i, data := range contents {
+				if err := cl.Write(p, gen.ObjectName(i), 0, data); err != nil {
+					panic(err)
+				}
+			}
+			s.Engine().DrainAndWait(p)
+		})
+		meta := h.c.PoolStats(s.MetaPool())
+		chunk := h.c.PoolStats(s.ChunkPool())
+		storedData := meta.StoredPhysical + chunk.StoredPhysical
+		storedMeta := meta.StoredMetadata + chunk.StoredMetadata
+		actual := 100 * (1 - float64(storedData+storedMeta)/float64(logical))
+		rows = append(rows, Table2Row{
+			ChunkSize: cs, IdealRatio: ideal,
+			StoredData: storedData, StoredMetadata: storedMeta, ActualRatio: actual,
+			PaperIdeal: paper[cs][0], PaperActual: paper[cs][1],
+		})
+	}
+	return rows
+}
+
+// Table2Table renders Table2.
+func Table2Table(rows []Table2Row) Table {
+	t := Table{
+		Title:   "Table 2: dedup ratio vs chunk size (private-cloud dataset, replication excluded)",
+		Columns: []string{"chunk", "ideal %", "stored data", "stored metadata", "actual %", "paper-ideal %", "paper-actual %"},
+		Notes: []string{
+			"shape target: ideal ratio falls as chunks grow; metadata halves per doubling; actual ratio crossover favors larger chunks",
+			"paper stored: 1.82/1.88/1.89 TB data and 163/82/41 GB metadata on the 3.3TB dataset",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmtKB(r.ChunkSize), f1(r.IdealRatio), mb(r.StoredData), mb(r.StoredMetadata),
+			f1(r.ActualRatio), f1(r.PaperIdeal), f1(r.PaperActual),
+		})
+	}
+	return t
+}
+
+var _ = fmt.Sprintf // keep fmt for future note formatting

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dedupstore/internal/client"
+	"dedupstore/internal/core"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/workload"
+)
+
+// Table3Row is one cell pair of Table 3: recovery time after replacing a
+// number of OSDs.
+type Table3Row struct {
+	FailedOSDs    int
+	OriginalSecs  float64
+	ProposedSecs  float64
+	PaperOriginal float64
+	PaperProposed float64
+	OriginalMoved int64
+	ProposedMoved int64
+}
+
+// Table3 reproduces Table 3: recovery time for a dataset with 50% dedup
+// ratio under the original store vs the proposed design, for 1/2/4 replaced
+// OSDs. Deduplication halves the bytes recovery must move, so recovery is
+// proportionally faster — entirely through the substrate's recovery engine,
+// since dedup state lives in self-contained objects.
+func Table3(sc Scale) []Table3Row {
+	paper := map[int][2]float64{1: {68.04, 43.72}, 2: {71.35, 44.51}, 4: {81.77, 54.78}}
+	span := sc.bytes(100 << 20) // paper: 100GB
+	fio := workload.FIOConfig{
+		BlockSize: 64 << 10, Span: span, Pattern: workload.SeqWrite,
+		DedupPct: 50, Threads: 8, IODepth: 4, Seed: 701,
+	}
+
+	run := func(failed []int, dedup bool) (secs float64, moved int64) {
+		h := newHarness(703, 4, 4)
+		var s *core.Store
+		var dev *client.BlockDevice
+		if dedup {
+			s = h.dedupStore(func(cfg *core.Config) {
+				cfg.Rate.Enabled = false
+				cfg.HitSet.HitCount = 1000
+				cfg.DedupThreads = 8
+			})
+			dev = h.dedupDevice("img", span, s)
+		} else {
+			dev = h.rawDevice("img", span, 0, rados.ReplicatedN(2))
+		}
+		h.run(func(p *sim.Proc) {
+			res := workload.RunFIO(p, dev, fio)
+			if res.Errors > 0 {
+				panic(fmt.Sprintf("table3: %d write errors", res.Errors))
+			}
+		})
+		if dedup {
+			h.run(func(p *sim.Proc) { s.Engine().DrainAndWait(p) })
+		}
+		for _, id := range failed {
+			h.c.FailOSD(id)
+		}
+		for _, id := range failed {
+			if err := h.c.ReplaceOSD(id); err != nil {
+				panic(err)
+			}
+		}
+		var stats rados.RecoveryStats
+		h.run(func(p *sim.Proc) { stats = h.c.Recover(p, 8) })
+		return stats.Duration().Seconds(), stats.BytesMoved
+	}
+
+	// Failed OSDs chosen on distinct hosts, like pulling one drive per node.
+	failSets := map[int][]int{1: {0}, 2: {0, 5}, 4: {0, 5, 10, 15}}
+	var rows []Table3Row
+	for _, n := range []int{1, 2, 4} {
+		origSecs, origMoved := run(failSets[n], false)
+		propSecs, propMoved := run(failSets[n], true)
+		rows = append(rows, Table3Row{
+			FailedOSDs:    n,
+			OriginalSecs:  origSecs,
+			ProposedSecs:  propSecs,
+			PaperOriginal: paper[n][0],
+			PaperProposed: paper[n][1],
+			OriginalMoved: origMoved,
+			ProposedMoved: propMoved,
+		})
+	}
+	return rows
+}
+
+// Table3Table renders Table3.
+func Table3Table(rows []Table3Row) Table {
+	t := Table{
+		Title:   "Table 3: recovery time after replacing OSDs (dataset at 50% dedup ratio)",
+		Columns: []string{"failed OSDs", "original (ms)", "proposed (ms)", "prop/orig", "paper prop/orig", "orig moved", "prop moved"},
+		Notes: []string{
+			"shape target: proposed recovery ~35-45% faster (half the bytes to move); both grow with failed OSD count",
+			"paper absolute times: 68.0/71.4/81.8 s original vs 43.7/44.5/54.8 s proposed (100GB unscaled)",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.FailedOSDs), f2(r.OriginalSecs * 1000), f2(r.ProposedSecs * 1000),
+			f2(r.ProposedSecs / r.OriginalSecs), f2(r.PaperProposed / r.PaperOriginal),
+			mb(r.OriginalMoved), mb(r.ProposedMoved),
+		})
+	}
+	return t
+}

@@ -1,0 +1,114 @@
+// Package hitset implements time-sliced object-access tracking, an analog of
+// Ceph's HitSet used by the paper's cache manager (§5): it "sustainably
+// maintains recently accessed object set per second and counts for each
+// object access"; an object whose access count over the retained window
+// exceeds HitCount is considered hot and kept cached in the metadata pool.
+package hitset
+
+import (
+	"time"
+
+	"dedupstore/internal/bloom"
+	"dedupstore/internal/sim"
+)
+
+// Slice is one time window's access set: a bloom filter for membership plus
+// an exact count map for the current (open) slice.
+type Slice struct {
+	Start  sim.Time
+	filter *bloom.Filter
+}
+
+// Tracker maintains a ring of recent HitSet slices.
+type Tracker struct {
+	period    time.Duration
+	retain    int
+	perSlice  uint64
+	slices    []*Slice // slices[len-1] is the open one
+	lastRoll  sim.Time
+	hitCount  int
+	totalHits uint64
+}
+
+// Config controls HitSet behaviour.
+type Config struct {
+	// Period is the wall time each slice covers (paper: per second).
+	Period time.Duration
+	// Retain is how many closed slices are kept for hotness queries.
+	Retain int
+	// ExpectedPerSlice sizes each slice's bloom filter.
+	ExpectedPerSlice uint64
+	// HitCount is the hotness threshold: an object seen in at least HitCount
+	// of the retained slices is hot.
+	HitCount int
+}
+
+// DefaultConfig mirrors the paper's setup: per-second HitSets.
+func DefaultConfig() Config {
+	return Config{Period: time.Second, Retain: 8, ExpectedPerSlice: 4096, HitCount: 2}
+}
+
+// New creates a tracker.
+func New(cfg Config) *Tracker {
+	if cfg.Period <= 0 {
+		cfg.Period = time.Second
+	}
+	if cfg.Retain < 1 {
+		cfg.Retain = 1
+	}
+	if cfg.ExpectedPerSlice == 0 {
+		cfg.ExpectedPerSlice = 4096
+	}
+	if cfg.HitCount < 1 {
+		cfg.HitCount = 1
+	}
+	t := &Tracker{period: cfg.Period, retain: cfg.Retain, perSlice: cfg.ExpectedPerSlice, hitCount: cfg.HitCount}
+	t.slices = []*Slice{t.newSlice(0)}
+	return t
+}
+
+func (t *Tracker) newSlice(at sim.Time) *Slice {
+	return &Slice{Start: at, filter: bloom.NewWithEstimates(t.perSlice, 0.01)}
+}
+
+func (t *Tracker) roll(now sim.Time) {
+	for now-t.lastRoll >= sim.Time(t.period) {
+		t.lastRoll += sim.Time(t.period)
+		t.slices = append(t.slices, t.newSlice(t.lastRoll))
+		if len(t.slices) > t.retain+1 { // +1 for the open slice
+			t.slices = t.slices[1:]
+		}
+	}
+}
+
+// Record notes an access to oid at virtual time now.
+func (t *Tracker) Record(now sim.Time, oid string) {
+	t.roll(now)
+	t.slices[len(t.slices)-1].filter.AddString(oid)
+	t.totalHits++
+}
+
+// Hits returns in how many retained slices oid appears (bloom-approximate).
+func (t *Tracker) Hits(now sim.Time, oid string) int {
+	t.roll(now)
+	n := 0
+	for _, s := range t.slices {
+		if s.filter.ContainsString(oid) {
+			n++
+		}
+	}
+	return n
+}
+
+// Hot reports whether oid's recent access count reaches the HitCount
+// threshold. Hot objects are kept cached in the metadata pool and skipped by
+// the dedup engine until they cool down (paper §3.2, §4.3).
+func (t *Tracker) Hot(now sim.Time, oid string) bool {
+	return t.Hits(now, oid) >= t.hitCount
+}
+
+// TotalHits returns the lifetime number of recorded accesses.
+func (t *Tracker) TotalHits() uint64 { return t.totalHits }
+
+// Slices returns the number of slices currently retained (including open).
+func (t *Tracker) Slices() int { return len(t.slices) }

@@ -1,0 +1,82 @@
+package hitset
+
+import (
+	"testing"
+	"time"
+
+	"dedupstore/internal/sim"
+)
+
+func at(d time.Duration) sim.Time { return sim.Time(d) }
+
+func TestHotAfterRepeatedAccess(t *testing.T) {
+	tr := New(Config{Period: time.Second, Retain: 4, HitCount: 2})
+	tr.Record(at(100*time.Millisecond), "obj1")
+	if tr.Hot(at(200*time.Millisecond), "obj1") {
+		t.Fatal("hot after a single access in one slice")
+	}
+	tr.Record(at(1100*time.Millisecond), "obj1") // second slice
+	if !tr.Hot(at(1200*time.Millisecond), "obj1") {
+		t.Fatal("not hot after access in two slices")
+	}
+}
+
+func TestColdObjectNeverHot(t *testing.T) {
+	tr := New(DefaultConfig())
+	tr.Record(0, "other")
+	if tr.Hot(0, "never-seen") {
+		t.Fatal("unseen object reported hot")
+	}
+}
+
+func TestHotnessExpires(t *testing.T) {
+	tr := New(Config{Period: time.Second, Retain: 2, HitCount: 2})
+	tr.Record(at(0), "obj")
+	tr.Record(at(1100*time.Millisecond), "obj")
+	if !tr.Hot(at(1200*time.Millisecond), "obj") {
+		t.Fatal("should be hot")
+	}
+	// After the retained window slides past both accesses, hotness decays.
+	if tr.Hot(at(10*time.Second), "obj") {
+		t.Fatal("hotness did not expire after window slid")
+	}
+}
+
+func TestSliceRetention(t *testing.T) {
+	tr := New(Config{Period: time.Second, Retain: 3, HitCount: 1})
+	for i := 0; i < 10; i++ {
+		tr.Record(at(time.Duration(i)*time.Second+time.Millisecond), "o")
+	}
+	if got := tr.Slices(); got > 4 { // retain + open
+		t.Fatalf("retained %d slices, want <= 4", got)
+	}
+}
+
+func TestHitsCountsSlices(t *testing.T) {
+	tr := New(Config{Period: time.Second, Retain: 8, HitCount: 3})
+	for i := 0; i < 3; i++ {
+		tr.Record(at(time.Duration(i)*time.Second+time.Millisecond), "obj")
+	}
+	if got := tr.Hits(at(3100*time.Millisecond), "obj"); got < 3 {
+		t.Fatalf("hits=%d want >=3", got)
+	}
+	if !tr.Hot(at(3100*time.Millisecond), "obj") {
+		t.Fatal("obj should be hot at threshold")
+	}
+}
+
+func TestTotalHits(t *testing.T) {
+	tr := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		tr.Record(0, "x")
+	}
+	if tr.TotalHits() != 5 {
+		t.Fatalf("TotalHits=%d", tr.TotalHits())
+	}
+}
+
+func TestConfigClamping(t *testing.T) {
+	tr := New(Config{}) // all zero: must not panic, must work
+	tr.Record(0, "a")
+	_ = tr.Hot(0, "a")
+}

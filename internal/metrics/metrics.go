@@ -1,0 +1,182 @@
+// Package metrics collects the measurements the paper reports: latency
+// distributions (Figs. 10–12), per-second throughput timelines (Figs. 5b,
+// 14), IOPS, and storage footprints. All timestamps are virtual (sim.Time).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dedupstore/internal/sim"
+)
+
+// Histogram records latency samples and reports summary statistics.
+type Histogram struct {
+	samples []time.Duration
+	sum     time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add records one latency sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sum += d
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	var m time.Duration
+	for _, s := range h.samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Point is one interval of a throughput timeline.
+type Point struct {
+	T     sim.Time
+	Ops   int64
+	Bytes int64
+}
+
+// MBps returns the interval's throughput in MB/s for the given interval
+// length.
+func (pt Point) MBps(interval time.Duration) float64 {
+	return float64(pt.Bytes) / 1e6 / interval.Seconds()
+}
+
+// IOPS returns the interval's operation rate.
+func (pt Point) IOPS(interval time.Duration) float64 {
+	return float64(pt.Ops) / interval.Seconds()
+}
+
+// TimeSeries accumulates ops/bytes into fixed-width intervals — the data
+// behind the paper's time-axis plots (Fig. 5b interference, Fig. 14 rate
+// control).
+type TimeSeries struct {
+	interval time.Duration
+	points   []Point
+}
+
+// NewTimeSeries returns a series with the given bucket width.
+func NewTimeSeries(interval time.Duration) *TimeSeries {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &TimeSeries{interval: interval}
+}
+
+// Interval returns the bucket width.
+func (ts *TimeSeries) Interval() time.Duration { return ts.interval }
+
+// Add records an operation completion of the given size at virtual time now.
+func (ts *TimeSeries) Add(now sim.Time, bytes int) {
+	idx := int(int64(now) / int64(ts.interval))
+	for len(ts.points) <= idx {
+		ts.points = append(ts.points, Point{T: sim.Time(int64(len(ts.points)) * int64(ts.interval))})
+	}
+	ts.points[idx].Ops++
+	ts.points[idx].Bytes += int64(bytes)
+}
+
+// Points returns the timeline (shared slice; do not mutate).
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// MeanMBps returns average throughput over buckets [from, to).
+func (ts *TimeSeries) MeanMBps(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(ts.points) || to <= 0 {
+		to = len(ts.points)
+	}
+	if from >= to {
+		return 0
+	}
+	var bytes int64
+	for _, pt := range ts.points[from:to] {
+		bytes += pt.Bytes
+	}
+	return float64(bytes) / 1e6 / (float64(to-from) * ts.interval.Seconds())
+}
+
+// Recorder bundles a latency histogram and a throughput timeline for one
+// operation class (e.g. "randwrite").
+type Recorder struct {
+	Lat    *Histogram
+	Series *TimeSeries
+}
+
+// NewRecorder returns a recorder with one-second timeline buckets.
+func NewRecorder() *Recorder {
+	return &Recorder{Lat: NewHistogram(), Series: NewTimeSeries(time.Second)}
+}
+
+// Record notes one completed op: its completion time, latency and size.
+func (r *Recorder) Record(now sim.Time, lat time.Duration, bytes int) {
+	r.Lat.Add(lat)
+	r.Series.Add(now, bytes)
+}
+
+// Throughput returns MB/s over the whole run (total bytes / final time).
+func (r *Recorder) Throughput(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	var bytes int64
+	for _, pt := range r.Series.Points() {
+		bytes += pt.Bytes
+	}
+	return float64(bytes) / 1e6 / now.Seconds()
+}
+
+// IOPS returns ops/s over the whole run.
+func (r *Recorder) IOPS(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	var ops int64
+	for _, pt := range r.Series.Points() {
+		ops += pt.Ops
+	}
+	return float64(ops) / now.Seconds()
+}

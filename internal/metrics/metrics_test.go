@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"dedupstore/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Percentile(50); got < 49*time.Millisecond || got > 51*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got < 98*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Add(time.Second)
+	if h.Percentile(0.0001) != time.Second || h.Percentile(100) != time.Second {
+		t.Fatal("single-sample percentiles wrong")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Add(sim.Time(500*time.Millisecond), 1000)
+	ts.Add(sim.Time(700*time.Millisecond), 1000)
+	ts.Add(sim.Time(2500*time.Millisecond), 4000)
+	pts := ts.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Bytes != 2000 || pts[0].Ops != 2 {
+		t.Fatalf("bucket0 = %+v", pts[0])
+	}
+	if pts[1].Bytes != 0 {
+		t.Fatalf("gap bucket = %+v", pts[1])
+	}
+	if pts[2].Bytes != 4000 {
+		t.Fatalf("bucket2 = %+v", pts[2])
+	}
+	if got := pts[0].MBps(time.Second); got != 0.002 {
+		t.Fatalf("MBps = %v", got)
+	}
+	if got := pts[0].IOPS(time.Second); got != 2 {
+		t.Fatalf("IOPS = %v", got)
+	}
+}
+
+func TestMeanMBps(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	for s := 0; s < 10; s++ {
+		ts.Add(sim.Time(time.Duration(s)*time.Second+time.Millisecond), 1e6)
+	}
+	if got := ts.MeanMBps(0, 10); got != 1.0 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := ts.MeanMBps(-5, 100); got != 1.0 {
+		t.Fatalf("clamped mean = %v", got)
+	}
+	if got := ts.MeanMBps(5, 5); got != 0 {
+		t.Fatalf("empty window = %v", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Record(sim.Time(time.Second), 10*time.Millisecond, 1e6)
+	r.Record(sim.Time(2*time.Second), 20*time.Millisecond, 1e6)
+	now := sim.Time(2 * time.Second)
+	if got := r.Throughput(now); got != 1.0 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if got := r.IOPS(now); got != 1.0 {
+		t.Fatalf("iops = %v", got)
+	}
+	if r.Lat.Mean() != 15*time.Millisecond {
+		t.Fatalf("latency mean = %v", r.Lat.Mean())
+	}
+	if r.Throughput(0) != 0 || r.IOPS(0) != 0 {
+		t.Fatal("zero-time metrics not zero")
+	}
+}
+
+func TestTimeSeriesClampedInterval(t *testing.T) {
+	ts := NewTimeSeries(0) // clamps to 1s
+	if ts.Interval() != time.Second {
+		t.Fatalf("interval = %v", ts.Interval())
+	}
+}

@@ -1,0 +1,384 @@
+// Package rados implements the decentralized, shared-nothing scale-out
+// object store the paper targets (§2.1): CRUSH-placed placement groups over
+// OSDs, primary-copy replication, erasure-coded pools, per-object compound
+// transactions with xattr/omap metadata, and recovery/rebalancing engines.
+// It plays the role Ceph RADOS plays in the paper's implementation, with
+// device and network timing supplied by the discrete-event simulation.
+package rados
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dedupstore/internal/crush"
+	"dedupstore/internal/ec"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/simcost"
+	"dedupstore/internal/store"
+)
+
+// Errors returned by cluster operations.
+var (
+	ErrNoOSD        = errors.New("rados: no OSD available for placement group")
+	ErrPoolExists   = errors.New("rados: pool already exists")
+	ErrPoolNotFound = errors.New("rados: pool not found")
+	ErrNotFound     = store.ErrNotFound
+)
+
+// RedundancyKind selects the pool redundancy scheme.
+type RedundancyKind int
+
+// Redundancy kinds.
+const (
+	Replicated RedundancyKind = iota + 1
+	Erasure
+)
+
+// Redundancy describes a pool's data protection scheme (§1: deduplication
+// must preserve the underlying redundancy scheme, replication or EC).
+type Redundancy struct {
+	Kind RedundancyKind
+	Size int // replica count for Replicated
+	K, M int // data/parity shards for Erasure
+}
+
+// ReplicatedN returns replication with n copies.
+func ReplicatedN(n int) Redundancy { return Redundancy{Kind: Replicated, Size: n} }
+
+// ErasureKM returns EC with k data and m parity shards.
+func ErasureKM(k, m int) Redundancy { return Redundancy{Kind: Erasure, K: k, M: m} }
+
+// Width is the number of OSDs a PG needs under this scheme.
+func (r Redundancy) Width() int {
+	if r.Kind == Erasure {
+		return r.K + r.M
+	}
+	return r.Size
+}
+
+// Overhead is the raw-to-logical space multiplier (2 for 2x replication,
+// 1.5 for EC 2+1).
+func (r Redundancy) Overhead() float64 {
+	if r.Kind == Erasure {
+		return float64(r.K+r.M) / float64(r.K)
+	}
+	return float64(r.Size)
+}
+
+func (r Redundancy) String() string {
+	if r.Kind == Erasure {
+		return fmt.Sprintf("ec-%d+%d", r.K, r.M)
+	}
+	return fmt.Sprintf("rep-%d", r.Size)
+}
+
+// PoolConfig configures a pool at creation.
+type PoolConfig struct {
+	Name       string
+	PGNum      uint32
+	Redundancy Redundancy
+	// DeviceClass restricts placement to OSDs of this class ("" = any) —
+	// the paper's §4.2 option of placing the metadata and chunk pools on
+	// different storage tiers.
+	DeviceClass string
+}
+
+// Pool is a named object namespace with its own redundancy scheme — the
+// mechanism the design uses to separate the metadata pool from the chunk
+// pool (§4.2), each with its own redundancy and placement.
+type Pool struct {
+	ID    uint64
+	Name  string
+	PGNum uint32
+	Red   Redundancy
+	// Class is the pool's device-class restriction ("" = any).
+	Class string
+
+	codec *ec.Codec // lazily built EC codec (Erasure pools only)
+}
+
+type host struct {
+	name string
+	nic  *sim.Resource
+	cpu  *sim.Resource
+}
+
+type osd struct {
+	id    int
+	host  *host
+	store *store.Store
+	disk  *sim.Resource
+	// slow scales disk service times (1.0 = the cost model's SSD; an HDD
+	// class OSD uses a larger factor).
+	slow float64
+}
+
+// diskRead charges a read of n bytes at this OSD's device speed.
+func (o *osd) diskRead(p *sim.Proc, cost simcost.Params, n int) {
+	o.disk.Use(p, time.Duration(float64(cost.DiskRead(n))*o.slow))
+}
+
+// diskWrite charges a durable write of n bytes at this OSD's device speed.
+func (o *osd) diskWrite(p *sim.Proc, cost simcost.Params, n int) {
+	o.disk.Use(p, time.Duration(float64(cost.DiskWrite(n))*o.slow))
+}
+
+// Cluster is the distributed object store. All blocking methods must be
+// called from within a sim.Proc.
+type Cluster struct {
+	eng  *sim.Engine
+	cost simcost.Params
+	cmap *crush.Map
+
+	hosts     map[string]*host
+	osds      map[int]*osd
+	pools     map[string]*Pool
+	poolsByID map[uint64]*Pool
+	nextPool  uint64
+
+	pgLocks map[string]*sim.Resource
+
+	storeOpts []store.Option
+
+	// Stats counters.
+	fgOps     *OpCounter
+	recovered int64 // bytes moved by recovery
+}
+
+// Option configures a Cluster.
+type Option func(*Cluster)
+
+// WithStoreOptions passes options (e.g. a compression footprint model) to
+// every OSD store created by AddOSD.
+func WithStoreOptions(opts ...store.Option) Option {
+	return func(c *Cluster) { c.storeOpts = opts }
+}
+
+// New creates an empty cluster on the given simulation engine and cost
+// model.
+func New(eng *sim.Engine, cost simcost.Params, opts ...Option) *Cluster {
+	c := &Cluster{
+		eng:       eng,
+		cost:      cost,
+		cmap:      crush.NewMap(),
+		hosts:     make(map[string]*host),
+		osds:      make(map[int]*osd),
+		pools:     make(map[string]*Pool),
+		poolsByID: make(map[uint64]*Pool),
+		pgLocks:   make(map[string]*sim.Resource),
+		fgOps:     NewOpCounter(eng),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Engine returns the simulation engine the cluster runs on.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Cost returns the hardware cost model.
+func (c *Cluster) Cost() simcost.Params { return c.cost }
+
+// Map returns the cluster's CRUSH map (live; mutations affect placement).
+func (c *Cluster) Map() *crush.Map { return c.cmap }
+
+// AddHost registers a server with the given CPU core count.
+func (c *Cluster) AddHost(name string, cores int) {
+	if _, ok := c.hosts[name]; ok {
+		return
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	c.hosts[name] = &host{
+		name: name,
+		nic:  sim.NewResource("nic."+name, 1),
+		cpu:  sim.NewResource("cpu."+name, cores),
+	}
+}
+
+// AddOSD registers an SSD-class OSD on a host (host must exist).
+func (c *Cluster) AddOSD(id int, hostName string, weight float64) error {
+	return c.AddOSDClass(id, hostName, weight, "ssd", 1.0)
+}
+
+// AddOSDClass registers an OSD with a device class and a disk slowdown
+// factor relative to the cost model's SSD (e.g. "hdd" with factor 8).
+func (c *Cluster) AddOSDClass(id int, hostName string, weight float64, class string, slowFactor float64) error {
+	h, ok := c.hosts[hostName]
+	if !ok {
+		return fmt.Errorf("rados: unknown host %q", hostName)
+	}
+	if slowFactor <= 0 {
+		slowFactor = 1.0
+	}
+	if err := c.cmap.AddOSDClass(id, hostName, weight, class); err != nil {
+		return err
+	}
+	c.osds[id] = &osd{
+		id:    id,
+		host:  h,
+		store: store.New(c.storeOpts...),
+		disk:  sim.NewResource(fmt.Sprintf("disk.osd%d", id), c.diskShards()),
+		slow:  slowFactor,
+	}
+	return nil
+}
+
+func (c *Cluster) diskShards() int {
+	if c.cost.DiskShards > 0 {
+		return c.cost.DiskShards
+	}
+	return 1
+}
+
+// NewTestbed builds the paper's evaluation cluster: hosts each with
+// osdsPerHost OSDs, 12 cores per host (Xeon E5-2690).
+func NewTestbed(eng *sim.Engine, cost simcost.Params, hosts, osdsPerHost int, opts ...Option) *Cluster {
+	c := New(eng, cost, opts...)
+	id := 0
+	for h := 0; h < hosts; h++ {
+		name := fmt.Sprintf("host%d", h)
+		c.AddHost(name, 12)
+		for d := 0; d < osdsPerHost; d++ {
+			if err := c.AddOSD(id, name, 1.0); err != nil {
+				panic(err)
+			}
+			id++
+		}
+	}
+	return c
+}
+
+// CreatePool creates a pool.
+func (c *Cluster) CreatePool(cfg PoolConfig) (*Pool, error) {
+	if _, ok := c.pools[cfg.Name]; ok {
+		return nil, ErrPoolExists
+	}
+	if cfg.PGNum == 0 {
+		cfg.PGNum = 64
+	}
+	switch cfg.Redundancy.Kind {
+	case Replicated:
+		if cfg.Redundancy.Size < 1 {
+			return nil, fmt.Errorf("rados: pool %q invalid replica count %d", cfg.Name, cfg.Redundancy.Size)
+		}
+	case Erasure:
+		if cfg.Redundancy.K < 1 || cfg.Redundancy.M < 0 {
+			return nil, fmt.Errorf("rados: pool %q invalid EC %d+%d", cfg.Name, cfg.Redundancy.K, cfg.Redundancy.M)
+		}
+	default:
+		return nil, fmt.Errorf("rados: pool %q missing redundancy scheme", cfg.Name)
+	}
+	c.nextPool++
+	p := &Pool{ID: c.nextPool, Name: cfg.Name, PGNum: cfg.PGNum, Red: cfg.Redundancy, Class: cfg.DeviceClass}
+	c.pools[cfg.Name] = p
+	c.poolsByID[p.ID] = p
+	return p, nil
+}
+
+// LookupPool returns a pool by name.
+func (c *Cluster) LookupPool(name string) (*Pool, error) {
+	p, ok := c.pools[name]
+	if !ok {
+		return nil, ErrPoolNotFound
+	}
+	return p, nil
+}
+
+// PGOf computes the placement group of an object.
+func (c *Cluster) PGOf(p *Pool, oid string) crush.PG {
+	return crush.PGForObject(p.ID, p.PGNum, oid)
+}
+
+// acting returns the up OSDs for a PG in placement order.
+func (c *Cluster) acting(p *Pool, pg crush.PG) []*osd {
+	ids := c.cmap.ActingSetClass(pg, p.Red.Width(), p.Class)
+	out := make([]*osd, 0, len(ids))
+	for _, id := range ids {
+		if o, ok := c.osds[id]; ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// want returns the full target OSD set for a PG (including down members).
+func (c *Cluster) want(p *Pool, pg crush.PG) []*osd {
+	ids := c.cmap.MapPGClass(pg, p.Red.Width(), p.Class)
+	out := make([]*osd, 0, len(ids))
+	for _, id := range ids {
+		if o, ok := c.osds[id]; ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) pgLock(pg crush.PG) *sim.Resource {
+	key := pg.String()
+	l, ok := c.pgLocks[key]
+	if !ok {
+		l = sim.NewResource("pg."+key, 1)
+		c.pgLocks[key] = l
+	}
+	return l
+}
+
+// ForegroundOps returns the counter of client-issued operations, the signal
+// the dedup rate controller watches (§4.4.2).
+func (c *Cluster) ForegroundOps() *OpCounter { return c.fgOps }
+
+// RecoveredBytes reports total bytes moved by recovery/rebalance so far.
+func (c *Cluster) RecoveredBytes() int64 { return c.recovered }
+
+// HostCPUUsage returns average CPU utilization (0..1) across all hosts up to
+// the current virtual time, the metric plotted as the solid line in Fig. 10.
+func (c *Cluster) HostCPUUsage() float64 {
+	now := c.eng.Now()
+	if now == 0 || len(c.hosts) == 0 {
+		return 0
+	}
+	var frac float64
+	for _, h := range c.hosts {
+		busy := h.cpu.BusyTime(now)
+		frac += float64(busy) / float64(now.Duration())
+	}
+	return frac / float64(len(c.hosts))
+}
+
+// HostCPUBusy returns the summed CPU busy time across all hosts up to now.
+// Measure a window by differencing two calls: usage = Δbusy / (Δt × hosts).
+func (c *Cluster) HostCPUBusy() time.Duration {
+	now := c.eng.Now()
+	var busy time.Duration
+	for _, h := range c.hosts {
+		busy += h.cpu.BusyTime(now)
+	}
+	return busy
+}
+
+// HostCount returns the number of registered hosts.
+func (c *Cluster) HostCount() int { return len(c.hosts) }
+
+// OSDStore exposes an OSD's backing store (used by tests, local-dedup
+// baseline accounting, and recovery verification).
+func (c *Cluster) OSDStore(id int) (*store.Store, bool) {
+	o, ok := c.osds[id]
+	if !ok {
+		return nil, false
+	}
+	return o.store, true
+}
+
+// OSDs returns all OSD ids, ascending.
+func (c *Cluster) OSDs() []int { return c.cmap.OSDs() }
+
+// netSend models one network hop: the NIC is occupied only for the
+// serialization time; propagation latency accrues without holding the link.
+func (c *Cluster) netSend(p *sim.Proc, nic *sim.Resource, n int) {
+	nic.Use(p, c.cost.NetSer(n))
+	p.Sleep(c.cost.NetLatency)
+}

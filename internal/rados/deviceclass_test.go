@@ -1,0 +1,148 @@
+package rados
+
+import (
+	"fmt"
+	"testing"
+
+	"dedupstore/internal/sim"
+	"dedupstore/internal/simcost"
+	"dedupstore/internal/store"
+)
+
+// hybridCluster builds 4 hosts, each with 2 SSD OSDs and 2 HDD OSDs
+// (8x slower disks).
+func hybridCluster(t *testing.T) (*sim.Engine, *Cluster) {
+	t.Helper()
+	eng := sim.New(21)
+	c := New(eng, simcost.Default())
+	id := 0
+	for h := 0; h < 4; h++ {
+		host := fmt.Sprintf("host%d", h)
+		c.AddHost(host, 12)
+		for d := 0; d < 2; d++ {
+			if err := c.AddOSDClass(id, host, 1.0, "ssd", 1.0); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+		for d := 0; d < 2; d++ {
+			if err := c.AddOSDClass(id, host, 1.0, "hdd", 8.0); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+	}
+	return eng, c
+}
+
+func TestPoolDeviceClassPlacement(t *testing.T) {
+	eng, c := hybridCluster(t)
+	ssdPool, err := c.CreatePool(PoolConfig{Name: "fast", PGNum: 64, Redundancy: ReplicatedN(2), DeviceClass: "ssd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hddPool, err := c.CreatePool(PoolConfig{Name: "slow", PGNum: 64, Redundancy: ReplicatedN(2), DeviceClass: "hdd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := c.NewGateway("cl")
+	eng.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 30; i++ {
+			if err := gw.WriteFull(p, ssdPool, fmt.Sprintf("f%d", i), make([]byte, 4096)); err != nil {
+				t.Error(err)
+			}
+			if err := gw.WriteFull(p, hddPool, fmt.Sprintf("s%d", i), make([]byte, 4096)); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	eng.Run()
+	// Every fast-pool object must live on SSD OSDs only, and vice versa.
+	for _, id := range c.OSDs() {
+		info, _ := c.Map().Lookup(id)
+		st, _ := c.OSDStore(id)
+		for _, key := range st.Keys() {
+			if key.Pool == ssdPool.ID && info.Class != "ssd" {
+				t.Fatalf("fast-pool object on %s osd.%d", info.Class, id)
+			}
+			if key.Pool == hddPool.ID && info.Class != "hdd" {
+				t.Fatalf("slow-pool object on %s osd.%d", info.Class, id)
+			}
+		}
+	}
+}
+
+func TestDeviceClassLatencyDifference(t *testing.T) {
+	eng, c := hybridCluster(t)
+	ssdPool, _ := c.CreatePool(PoolConfig{Name: "fast", PGNum: 64, Redundancy: ReplicatedN(2), DeviceClass: "ssd"})
+	hddPool, _ := c.CreatePool(PoolConfig{Name: "slow", PGNum: 64, Redundancy: ReplicatedN(2), DeviceClass: "hdd"})
+	gw := c.NewGateway("cl")
+	var ssdLat, hddLat sim.Time
+	eng.Go("w", func(p *sim.Proc) {
+		data := make([]byte, 256<<10)
+		t0 := p.Now()
+		gw.WriteFull(p, ssdPool, "a", data)
+		ssdLat = p.Now() - t0
+		t0 = p.Now()
+		gw.WriteFull(p, hddPool, "a", data)
+		hddLat = p.Now() - t0
+	})
+	eng.Run()
+	if hddLat < ssdLat*3 {
+		t.Fatalf("hdd write %v not much slower than ssd %v", hddLat, ssdLat)
+	}
+}
+
+func TestDeviceClassRecoveryStaysInClass(t *testing.T) {
+	eng, c := hybridCluster(t)
+	ssdPool, _ := c.CreatePool(PoolConfig{Name: "fast", PGNum: 64, Redundancy: ReplicatedN(2), DeviceClass: "ssd"})
+	gw := c.NewGateway("cl")
+	eng.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			gw.WriteFull(p, ssdPool, fmt.Sprintf("o%d", i), make([]byte, 8192))
+		}
+	})
+	eng.Run()
+	// Replace one SSD OSD; recovery must re-place on SSDs only.
+	c.FailOSD(0)
+	c.ReplaceOSD(0)
+	eng.Go("r", func(p *sim.Proc) { c.Recover(p, 4) })
+	eng.Run()
+	for i := 0; i < 20; i++ {
+		holders := 0
+		for _, id := range c.OSDs() {
+			st, _ := c.OSDStore(id)
+			if st.Exists(store.Key{Pool: ssdPool.ID, OID: fmt.Sprintf("o%d", i)}) {
+				info, _ := c.Map().Lookup(id)
+				if info.Class != "ssd" {
+					t.Fatalf("recovered object o%d onto %s osd.%d", i, info.Class, id)
+				}
+				holders++
+			}
+		}
+		if holders != 2 {
+			t.Fatalf("object o%d on %d OSDs after class-aware recovery", i, holders)
+		}
+	}
+}
+
+func TestMixedPoolSpansAllClasses(t *testing.T) {
+	eng, c := hybridCluster(t)
+	anyPool, _ := c.CreatePool(PoolConfig{Name: "any", PGNum: 128, Redundancy: ReplicatedN(2)})
+	gw := c.NewGateway("cl")
+	eng.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			gw.WriteFull(p, anyPool, fmt.Sprintf("o%d", i), make([]byte, 1024))
+		}
+	})
+	eng.Run()
+	classes := map[string]int{}
+	for _, id := range c.OSDs() {
+		info, _ := c.Map().Lookup(id)
+		st, _ := c.OSDStore(id)
+		classes[info.Class] += st.PoolUsage(anyPool.ID).Objects
+	}
+	if classes["ssd"] == 0 || classes["hdd"] == 0 {
+		t.Fatalf("unrestricted pool did not span classes: %v", classes)
+	}
+}

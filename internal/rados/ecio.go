@@ -1,0 +1,619 @@
+package rados
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dedupstore/internal/ec"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/store"
+)
+
+// EC object layout: object data is striped across K data shards in
+// StripeUnit rows (row r, unit u of the row lives in shard u at shard
+// offset r*StripeUnit), so any read larger than one stripe unit touches
+// several OSDs — the "widely spread chunks" effect the paper observes for
+// EC random reads (§6.4.1). Parity shards are Reed–Solomon over the data
+// shards. Every shard object stores its shard index and the logical object
+// length in xattrs; pool-level metadata (xattr/omap) is mirrored on every
+// shard so metadata reads are local to the primary.
+const (
+	xattrECIdx = "ec.idx"
+	xattrECLen = "ec.len"
+	// StripeUnit is the striping granularity (Ceph's default 4K).
+	StripeUnit = 4096
+)
+
+// ErrECDataOp is returned when a Mutate transaction on an EC pool contains
+// a data operation other than a single leading WriteFull.
+var ErrECDataOp = errors.New("rados: EC pools support only WriteFull data ops in Mutate")
+
+func (c *Cluster) codecFor(p *Pool) *ec.Codec {
+	if p.codec == nil {
+		cd, err := ec.New(p.Red.K, p.Red.M)
+		if err != nil {
+			panic(fmt.Sprintf("rados: pool %s codec: %v", p.Name, err))
+		}
+		p.codec = cd
+	}
+	return p.codec
+}
+
+func putU64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func getU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// stripeSplit distributes data into k shards of equal size (padded).
+func stripeSplit(data []byte, k int) [][]byte {
+	rows := (len(data) + StripeUnit*k - 1) / (StripeUnit * k)
+	if rows == 0 {
+		rows = 1
+	}
+	shardSize := rows * StripeUnit
+	shards := make([][]byte, k)
+	for i := range shards {
+		shards[i] = make([]byte, shardSize)
+	}
+	for pos := 0; pos < len(data); pos += StripeUnit {
+		unit := pos / StripeUnit
+		shard := unit % k
+		soff := unit / k * StripeUnit
+		copy(shards[shard][soff:], data[pos:min(pos+StripeUnit, len(data))])
+	}
+	return shards
+}
+
+// stripeJoin reassembles logical bytes [off, off+length) from shard
+// segments that each cover shard rows [row0, row1).
+func stripeJoin(segments [][]byte, k int, row0 int, off, length, totalLen int64) []byte {
+	end := off + length
+	if end > totalLen {
+		end = totalLen
+	}
+	if off >= end {
+		return nil
+	}
+	out := make([]byte, end-off)
+	for pos := off; pos < end; {
+		unit := pos / StripeUnit
+		shard := int(unit) % k
+		row := int(unit) / k
+		inUnit := pos % StripeUnit
+		n := StripeUnit - inUnit
+		if int64(n) > end-pos {
+			n = end - pos
+		}
+		soff := int64(row-row0)*StripeUnit + inUnit
+		copy(out[pos-off:], segments[shard][soff:soff+n])
+		pos += n
+	}
+	return out
+}
+
+// rowRange returns the stripe-row span covering [off, off+length).
+func rowRange(off, length int64, k int) (row0, row1 int) {
+	stripe := int64(StripeUnit * k)
+	row0 = int(off / stripe)
+	row1 = int((off + length + stripe - 1) / stripe)
+	return row0, row1
+}
+
+// ecHolders returns, for each shard index, the OSD currently expected to
+// hold it (nil if down/absent).
+func (c *Cluster) ecHolders(p *Pool, oid string) []*osd {
+	pg := c.PGOf(p, oid)
+	want := c.want(p, pg)
+	holders := make([]*osd, p.Red.K+p.Red.M)
+	key := store.Key{Pool: p.ID, OID: oid}
+	for pos, o := range want {
+		if pos >= len(holders) || o == nil {
+			continue
+		}
+		if up, ok := c.cmap.Lookup(o.id); !ok || !up.Up {
+			continue
+		}
+		if !o.store.Exists(key) {
+			continue
+		}
+		idx := int(getU64(mustXattr(o.store, key, xattrECIdx)))
+		if idx >= 0 && idx < len(holders) {
+			holders[idx] = o
+		}
+	}
+	return holders
+}
+
+func mustXattr(st *store.Store, k store.Key, name string) []byte {
+	v, err := st.GetXattr(k, name)
+	if err != nil {
+		return nil
+	}
+	return v
+}
+
+// ecPrimary returns the first up OSD of the PG mapping.
+func (g *Gateway) ecPrimary(pool *Pool, oid string) (*osd, error) {
+	acting := g.c.acting(pool, g.c.PGOf(pool, oid))
+	if len(acting) == 0 {
+		return nil, ErrNoOSD
+	}
+	return acting[0], nil
+}
+
+// --- Write paths -------------------------------------------------------------
+
+func (g *Gateway) ecWriteFull(p *sim.Proc, pool *Pool, oid string, data []byte) error {
+	pg := g.c.PGOf(pool, oid)
+	l := g.c.pgLock(pg)
+	l.Acquire(p)
+	defer l.Release(p)
+	primary, err := g.ecPrimary(pool, oid)
+	if err != nil {
+		g.noteOp(0)
+		return err
+	}
+	g.c.netSend(p, g.nic, len(data))
+	g.c.netSend(p, primary.host.nic, len(data))
+	err = g.ecApplyFull(p, pool, oid, data, nil)
+	g.noteOp(len(data))
+	return err
+}
+
+// ecApplyFull encodes data and writes all shards. PG lock must be held.
+// extraMeta, if non-nil, is a metadata-only txn mirrored onto every shard.
+func (g *Gateway) ecApplyFull(p *sim.Proc, pool *Pool, oid string, data []byte, extraMeta *store.Txn) error {
+	cost := g.c.cost
+	primary, err := g.ecPrimary(pool, oid)
+	if err != nil {
+		return err
+	}
+	codec := g.c.codecFor(pool)
+	primary.host.cpu.Use(p, cost.OpOverhead+cost.Checksum(len(data))+cost.ECEncode(len(data)))
+	shards, err := codec.Encode(stripeSplit(data, pool.Red.K))
+	if err != nil {
+		return err
+	}
+	pg := g.c.PGOf(pool, oid)
+	want := g.c.want(pool, pg)
+	if len(g.c.acting(pool, pg)) < pool.Red.K {
+		return ErrNoOSD // cannot maintain durability below k
+	}
+	key := store.Key{Pool: pool.ID, OID: oid}
+	var sigs []*sim.Signal
+	for pos, target := range want {
+		if pos >= len(shards) {
+			break
+		}
+		if up, ok := g.c.cmap.Lookup(target.id); !ok || !up.Up {
+			continue // degraded write; recovery will rebuild this shard
+		}
+		target, pos := target, pos
+		txn := store.NewTxn().
+			WriteFull(shards[pos]).
+			SetXattr(xattrECIdx, putU64(uint64(pos))).
+			SetXattr(xattrECLen, putU64(uint64(len(data))))
+		if extraMeta != nil {
+			txn.Ops = append(txn.Ops, extraMeta.Ops...)
+		}
+		sigs = append(sigs, p.Go("ec-shard", func(q *sim.Proc) {
+			if target != primary {
+				g.c.netSend(q, target.host.nic, len(shards[pos]))
+				target.host.cpu.Use(q, cost.OpOverhead)
+			}
+			if err := target.store.Apply(key, txn); err != nil {
+				panic(fmt.Sprintf("rados: ec shard apply: %v", err))
+			}
+			target.diskWrite(q, cost, txn.Bytes())
+		}))
+	}
+	sim.WaitAll(p, sigs...)
+	p.Sleep(cost.NetLatency)
+	return nil
+}
+
+// ecWrite performs a partial write with a row-aligned read-modify-write of
+// only the stripes the write touches (Ceph EC-overwrite style): the rows
+// covering [off, off+len) are gathered, patched, re-encoded, and all k+m
+// shard segments rewritten — the "parity calculation ... and
+// read-modify-write according to write size" penalty of §6.4.1.
+func (g *Gateway) ecWrite(p *sim.Proc, pool *Pool, oid string, off int64, data []byte) error {
+	pg := g.c.PGOf(pool, oid)
+	l := g.c.pgLock(pg)
+	l.Acquire(p)
+	defer l.Release(p)
+	cost := g.c.cost
+	primary, err := g.ecPrimary(pool, oid)
+	if err != nil {
+		g.noteOp(0)
+		return err
+	}
+	g.c.netSend(p, g.nic, len(data))
+	g.c.netSend(p, primary.host.nic, len(data))
+
+	k := pool.Red.K
+	codec := g.c.codecFor(pool)
+	oldLen := g.ecLen(pool, oid)
+	end := off + int64(len(data))
+	newLen := oldLen
+	if end > newLen {
+		newLen = end
+	}
+	row0, row1 := rowRange(off, int64(len(data)), k)
+	stripe := int64(StripeUnit * k)
+
+	// Gather the existing bytes of the affected rows (zeros beyond EOF).
+	rowBytes := make([]byte, (int64(row1)-int64(row0))*stripe)
+	if oldLen > int64(row0)*stripe {
+		readLen := min64(oldLen, int64(row1)*stripe) - int64(row0)*stripe
+		cur, err := g.ecGather(p, pool, oid, int64(row0)*stripe, readLen)
+		if err != nil && err != ErrNotFound {
+			g.noteOp(0)
+			return err
+		}
+		copy(rowBytes, cur)
+	}
+	copy(rowBytes[off-int64(row0)*stripe:], data)
+
+	// Re-encode just these rows (parity is bytewise, so row segments encode
+	// independently of the rest of the object).
+	primary.host.cpu.Use(p, cost.OpOverhead+cost.Checksum(len(data))+cost.ECEncode(len(rowBytes)))
+	shards, err := codec.Encode(stripeSplit(rowBytes, k))
+	if err != nil {
+		g.noteOp(0)
+		return err
+	}
+	segLen := (row1 - row0) * StripeUnit
+	for i := range shards {
+		if len(shards[i]) > segLen {
+			shards[i] = shards[i][:segLen]
+		}
+	}
+
+	want := g.c.want(pool, pg)
+	if len(g.c.acting(pool, pg)) < k {
+		g.noteOp(0)
+		return ErrNoOSD
+	}
+	key := store.Key{Pool: pool.ID, OID: oid}
+	var sigs []*sim.Signal
+	for pos, target := range want {
+		if pos >= len(shards) {
+			break
+		}
+		if up, ok := g.c.cmap.Lookup(target.id); !ok || !up.Up {
+			continue
+		}
+		target, pos := target, pos
+		txn := store.NewTxn().
+			Write(int64(row0)*StripeUnit, shards[pos]).
+			SetXattr(xattrECIdx, putU64(uint64(pos))).
+			SetXattr(xattrECLen, putU64(uint64(newLen)))
+		sigs = append(sigs, p.Go("ec-rmw", func(q *sim.Proc) {
+			// EC overwrites commit in two sequential phases per shard
+			// (prepare: ship + log the new rows; commit: apply them) so all
+			// k+m shards stay mutually consistent — Ceph's EC-overwrite
+			// protocol, and the §6.4.1 random-write penalty: two round
+			// trips and two durable writes per shard.
+			if target != primary {
+				g.c.netSend(q, target.host.nic, len(shards[pos]))
+				target.host.cpu.Use(q, cost.OpOverhead)
+			}
+			target.diskWrite(q, cost, txn.Bytes()) // phase 1: WAL
+			q.Sleep(cost.NetLatency)               // commit message
+			target.host.cpu.Use(q, cost.OpOverhead)
+			if err := target.store.Apply(key, txn); err != nil {
+				panic(fmt.Sprintf("rados: ec rmw apply: %v", err))
+			}
+			target.diskWrite(q, cost, txn.Bytes()) // phase 2: apply
+		}))
+	}
+	sim.WaitAll(p, sigs...)
+	p.Sleep(cost.NetLatency)
+	g.noteOp(len(data))
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (g *Gateway) ecDelete(p *sim.Proc, pool *Pool, oid string) error {
+	pg := g.c.PGOf(pool, oid)
+	l := g.c.pgLock(pg)
+	l.Acquire(p)
+	defer l.Release(p)
+	cost := g.c.cost
+	key := store.Key{Pool: pool.ID, OID: oid}
+	var sigs []*sim.Signal
+	for _, o := range g.c.want(pool, pg) {
+		o := o
+		if up, ok := g.c.cmap.Lookup(o.id); !ok || !up.Up {
+			continue
+		}
+		sigs = append(sigs, p.Go("ec-del", func(q *sim.Proc) {
+			q.Sleep(cost.NetLatency)
+			o.host.cpu.Use(q, cost.OpOverhead)
+			_ = o.store.Apply(key, store.NewTxn().Delete())
+			o.diskWrite(q, cost, 0)
+		}))
+	}
+	sim.WaitAll(p, sigs...)
+	p.Sleep(cost.NetLatency)
+	g.noteOp(0)
+	return nil
+}
+
+// --- Read paths --------------------------------------------------------------
+
+// ecLen returns the logical object length (0 if absent).
+func (g *Gateway) ecLen(pool *Pool, oid string) int64 {
+	key := store.Key{Pool: pool.ID, OID: oid}
+	for _, o := range g.c.ecHolders(pool, oid) {
+		if o != nil {
+			return int64(getU64(mustXattr(o.store, key, xattrECLen)))
+		}
+	}
+	return 0
+}
+
+func (g *Gateway) ecExists(pool *Pool, oid string) bool {
+	for _, o := range g.c.ecHolders(pool, oid) {
+		if o != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ecGather reads logical bytes [off, off+length) by fetching the covering
+// shard segments to the primary (reconstructing from parity when data
+// shards are down) and reassembling.
+func (g *Gateway) ecGather(p *sim.Proc, pool *Pool, oid string, off, length int64) ([]byte, error) {
+	cost := g.c.cost
+	codec := g.c.codecFor(pool)
+	k := pool.Red.K
+	totalLen := g.ecLen(pool, oid)
+	if totalLen == 0 {
+		if g.ecExists(pool, oid) {
+			return nil, nil
+		}
+		return nil, ErrNotFound
+	}
+	if length < 0 || off+length > totalLen {
+		length = totalLen - off
+	}
+	if off >= totalLen || length <= 0 {
+		return nil, nil
+	}
+	holders := g.c.ecHolders(pool, oid)
+	primary, err := g.ecPrimary(pool, oid)
+	if err != nil {
+		return nil, err
+	}
+	row0, row1 := rowRange(off, length, k)
+	segLen := (row1 - row0) * StripeUnit
+
+	dataMissing := false
+	for i := 0; i < k; i++ {
+		if holders[i] == nil {
+			dataMissing = true
+		}
+	}
+	key := store.Key{Pool: pool.ID, OID: oid}
+	segments := make([][]byte, len(holders))
+	fetch := func(idx int) *sim.Signal {
+		o := holders[idx]
+		return p.Go("ec-read", func(q *sim.Proc) {
+			seg, err := o.store.Read(key, int64(row0)*StripeUnit, int64(segLen))
+			if err != nil {
+				return
+			}
+			if len(seg) < segLen { // pad short shard tail
+				seg = append(seg, make([]byte, segLen-len(seg))...)
+			}
+			o.diskRead(q, cost, segLen)
+			if o != primary {
+				g.c.netSend(q, primary.host.nic, segLen)
+			}
+			segments[idx] = seg
+		})
+	}
+
+	var sigs []*sim.Signal
+	if !dataMissing {
+		// Fast path: fetch exactly the data shards.
+		for i := 0; i < k; i++ {
+			sigs = append(sigs, fetch(i))
+		}
+		sim.WaitAll(p, sigs...)
+	} else {
+		// Degraded read: fetch any k shards and reconstruct the rest.
+		got := 0
+		for i := 0; i < len(holders) && got < k; i++ {
+			if holders[i] != nil {
+				sigs = append(sigs, fetch(i))
+				got++
+			}
+		}
+		if got < k {
+			return nil, ec.ErrTooFew
+		}
+		sim.WaitAll(p, sigs...)
+		primary.host.cpu.Use(p, cost.ECEncode(segLen*k))
+		if err := codec.Reconstruct(segments); err != nil {
+			return nil, err
+		}
+	}
+	return stripeJoin(segments[:k], k, row0, off, length, totalLen), nil
+}
+
+func (g *Gateway) ecRead(p *sim.Proc, pool *Pool, oid string, off, length int64) ([]byte, error) {
+	pg := g.c.PGOf(pool, oid)
+	_ = pg
+	p.Sleep(g.c.cost.NetLatency) // request
+	data, err := g.ecGather(p, pool, oid, off, length)
+	if err != nil {
+		g.noteOp(0)
+		return nil, err
+	}
+	primary, perr := g.ecPrimary(pool, oid)
+	if perr == nil {
+		primary.host.cpu.Use(p, g.c.cost.OpOverhead)
+		g.c.netSend(p, primary.host.nic, len(data))
+	}
+	g.c.netSend(p, g.nic, len(data))
+	g.noteOp(len(data))
+	return data, nil
+}
+
+// --- Mutate on EC pools ------------------------------------------------------
+
+type ecView struct {
+	g    *Gateway
+	p    *sim.Proc
+	pool *Pool
+	oid  string
+}
+
+func (v ecView) Exists() bool { return v.g.ecExists(v.pool, v.oid) }
+func (v ecView) Size() int64  { return v.g.ecLen(v.pool, v.oid) }
+func (v ecView) Read(off, length int64) ([]byte, error) {
+	return v.g.ecGather(v.p, v.pool, v.oid, off, length)
+}
+func (v ecView) meta() (*osd, store.Key, error) {
+	for _, o := range v.g.c.ecHolders(v.pool, v.oid) {
+		if o != nil {
+			return o, store.Key{Pool: v.pool.ID, OID: v.oid}, nil
+		}
+	}
+	return nil, store.Key{}, ErrNotFound
+}
+func (v ecView) GetXattr(name string) ([]byte, error) {
+	o, key, err := v.meta()
+	if err != nil {
+		return nil, err
+	}
+	return o.store.GetXattr(key, name)
+}
+func (v ecView) OmapGet(key string) ([]byte, error) {
+	o, k, err := v.meta()
+	if err != nil {
+		return nil, err
+	}
+	return o.store.OmapGet(k, key)
+}
+func (v ecView) OmapList(max int) ([]string, error) {
+	o, k, err := v.meta()
+	if err != nil {
+		return nil, err
+	}
+	return o.store.OmapList(k, max)
+}
+
+// ecMutate applies a read-modify transaction on an EC object: at most one
+// WriteFull data op (triggering a full re-encode) plus metadata ops mirrored
+// to every live shard. payload is the bulk data shipped with the request.
+func (g *Gateway) ecMutate(p *sim.Proc, pool *Pool, oid string, payload int, fn MutateFn) error {
+	pg := g.c.PGOf(pool, oid)
+	l := g.c.pgLock(pg)
+	l.Acquire(p)
+	defer l.Release(p)
+	primary, err := g.ecPrimary(pool, oid)
+	if err != nil {
+		g.noteOp(0)
+		return err
+	}
+	if payload > 0 {
+		g.c.netSend(p, g.nic, payload)
+		g.c.netSend(p, primary.host.nic, payload)
+	} else {
+		p.Sleep(g.c.cost.NetLatency)
+	}
+	primary.host.cpu.Use(p, g.c.cost.OpOverhead)
+	txn, err := fn(ecView{g: g, p: p, pool: pool, oid: oid})
+	if err != nil {
+		g.noteOp(0)
+		return err
+	}
+	if txn == nil || txn.Empty() {
+		p.Sleep(g.c.cost.NetLatency)
+		g.noteOp(0)
+		return nil
+	}
+	var fullData []byte
+	hasFull, isDelete := false, false
+	meta := store.NewTxn()
+	for _, op := range txn.Ops {
+		switch op.Kind {
+		case store.OpWriteFull:
+			if hasFull {
+				return ErrECDataOp
+			}
+			hasFull = true
+			fullData = op.Data
+		case store.OpWrite, store.OpTruncate, store.OpZero:
+			return ErrECDataOp
+		case store.OpDelete:
+			isDelete = true
+		case store.OpCreate:
+			// no-op for EC; creation happens via WriteFull
+		default:
+			meta.Ops = append(meta.Ops, op)
+		}
+	}
+	if isDelete {
+		key := store.Key{Pool: pool.ID, OID: oid}
+		for _, o := range g.c.want(pool, pg) {
+			if up, ok := g.c.cmap.Lookup(o.id); ok && up.Up {
+				_ = o.store.Apply(key, store.NewTxn().Delete())
+				o.diskWrite(p, g.c.cost, 0)
+			}
+		}
+		p.Sleep(g.c.cost.NetLatency)
+		g.noteOp(0)
+		return nil
+	}
+	if hasFull {
+		err = g.ecApplyFull(p, pool, oid, fullData, meta)
+		g.noteOp(len(fullData))
+		return err
+	}
+	// Metadata-only: mirror to all live shard holders.
+	key := store.Key{Pool: pool.ID, OID: oid}
+	var sigs []*sim.Signal
+	for _, o := range g.c.ecHolders(pool, oid) {
+		if o == nil {
+			continue
+		}
+		o := o
+		sigs = append(sigs, p.Go("ec-meta", func(q *sim.Proc) {
+			q.Sleep(g.c.cost.NetLatency)
+			o.host.cpu.Use(q, g.c.cost.OpOverhead)
+			if err := o.store.Apply(key, meta); err != nil {
+				panic(fmt.Sprintf("rados: ec meta apply: %v", err))
+			}
+			o.diskWrite(q, g.c.cost, meta.Bytes())
+		}))
+	}
+	if len(sigs) == 0 {
+		g.noteOp(0)
+		return ErrNotFound
+	}
+	sim.WaitAll(p, sigs...)
+	p.Sleep(g.c.cost.NetLatency)
+	g.noteOp(meta.Bytes())
+	return nil
+}

@@ -1,0 +1,401 @@
+package rados
+
+import (
+	"fmt"
+	"time"
+
+	"dedupstore/internal/crush"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/store"
+)
+
+// Gateway is a client session endpoint: it owns the client-side NIC and
+// issues object operations into the cluster. Foreground gateways feed the
+// cluster's foreground-op counter (watched by dedup rate control);
+// internal gateways (background dedup, recovery helpers) do not.
+type Gateway struct {
+	c          *Cluster
+	name       string
+	nic        *sim.Resource
+	foreground bool
+}
+
+// NewGateway creates a client gateway with its own 10GbE link. Its
+// operations count as foreground I/O.
+func (c *Cluster) NewGateway(name string) *Gateway {
+	return &Gateway{c: c, name: name, nic: sim.NewResource("nic."+name, 1), foreground: true}
+}
+
+// HostGateway creates an internal gateway that shares an existing host's
+// NIC — the vantage point of a background dedup thread running on a storage
+// node. Its operations are not counted as foreground I/O.
+func (c *Cluster) HostGateway(hostName string) (*Gateway, error) {
+	h, ok := c.hosts[hostName]
+	if !ok {
+		return nil, fmt.Errorf("rados: unknown host %q", hostName)
+	}
+	return &Gateway{c: c, name: "internal." + hostName, nic: h.nic, foreground: false}, nil
+}
+
+func (g *Gateway) noteOp(bytes int) {
+	if g.foreground {
+		g.c.fgOps.Note(bytes)
+	}
+}
+
+// View gives a Mutate closure read access to the object being mutated. For
+// replicated pools reads are local to the primary; for EC pools data reads
+// gather shards (and are charged accordingly).
+type View interface {
+	// Exists reports whether the object currently exists.
+	Exists() bool
+	// Size returns the object data length (0 if absent).
+	Size() int64
+	// Read returns length bytes at off (nil past end; length<0 reads all).
+	Read(off, length int64) ([]byte, error)
+	// GetXattr returns an xattr value or ErrNotFound.
+	GetXattr(name string) ([]byte, error)
+	// OmapGet returns an omap value or ErrNotFound.
+	OmapGet(key string) ([]byte, error)
+	// OmapList returns up to max omap keys (all if max<=0), sorted.
+	OmapList(max int) ([]string, error)
+}
+
+// MutateFn inspects the current object state and returns the transaction to
+// apply, or a nil/empty transaction for no change. Returning an error aborts
+// the mutation (nothing is applied).
+type MutateFn func(v View) (*store.Txn, error)
+
+type replView struct {
+	st *store.Store
+	k  store.Key
+}
+
+func (v replView) Exists() bool { return v.st.Exists(v.k) }
+func (v replView) Size() int64 {
+	n, err := v.st.Size(v.k)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+func (v replView) Read(off, length int64) ([]byte, error) { return v.st.Read(v.k, off, length) }
+func (v replView) GetXattr(name string) ([]byte, error)   { return v.st.GetXattr(v.k, name) }
+func (v replView) OmapGet(key string) ([]byte, error)     { return v.st.OmapGet(v.k, key) }
+func (v replView) OmapList(max int) ([]string, error)     { return v.st.OmapList(v.k, max) }
+
+// --- Public operations -------------------------------------------------------
+
+// Write writes data at offset off (replicated pools write in place; EC
+// pools perform a read-modify-write of the full object).
+func (g *Gateway) Write(p *sim.Proc, pool *Pool, oid string, off int64, data []byte) error {
+	if pool.Red.Kind == Erasure {
+		return g.ecWrite(p, pool, oid, off, data)
+	}
+	txn := store.NewTxn().Write(off, data)
+	err := g.applyTxn(p, pool, oid, txn, len(data))
+	g.noteOp(len(data))
+	return err
+}
+
+// WriteFull replaces the object's contents.
+func (g *Gateway) WriteFull(p *sim.Proc, pool *Pool, oid string, data []byte) error {
+	if pool.Red.Kind == Erasure {
+		return g.ecWriteFull(p, pool, oid, data)
+	}
+	txn := store.NewTxn().WriteFull(data)
+	err := g.applyTxn(p, pool, oid, txn, len(data))
+	g.noteOp(len(data))
+	return err
+}
+
+// Delete removes the object.
+func (g *Gateway) Delete(p *sim.Proc, pool *Pool, oid string) error {
+	if pool.Red.Kind == Erasure {
+		return g.ecDelete(p, pool, oid)
+	}
+	err := g.applyTxn(p, pool, oid, store.NewTxn().Delete(), 0)
+	g.noteOp(0)
+	return err
+}
+
+// Read returns length bytes at off (length<0 reads to end). Reads are
+// served by the acting primary.
+func (g *Gateway) Read(p *sim.Proc, pool *Pool, oid string, off, length int64) ([]byte, error) {
+	if pool.Red.Kind == Erasure {
+		return g.ecRead(p, pool, oid, off, length)
+	}
+	primary, _, unlock, err := g.prepare(p, pool, oid, false)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	key := store.Key{Pool: pool.ID, OID: oid}
+	p.Sleep(g.c.cost.NetLatency) // request
+	primary.host.cpu.Use(p, g.c.cost.OpOverhead)
+	data, err := primary.store.Read(key, off, length)
+	if err != nil {
+		g.noteOp(0)
+		return nil, err
+	}
+	primary.diskRead(p, g.c.cost, len(data))
+	g.c.netSend(p, primary.host.nic, len(data))
+	g.c.netSend(p, g.nic, len(data))
+	g.noteOp(len(data))
+	return data, nil
+}
+
+// Stat returns the object size.
+func (g *Gateway) Stat(p *sim.Proc, pool *Pool, oid string) (int64, error) {
+	primary, err := g.metaOp(p, pool, oid)
+	if err != nil {
+		return 0, err
+	}
+	if pool.Red.Kind == Erasure {
+		if !g.ecExists(pool, oid) {
+			return 0, ErrNotFound
+		}
+		return g.ecLen(pool, oid), nil
+	}
+	_ = primary
+	return primary.store.Size(store.Key{Pool: pool.ID, OID: oid})
+}
+
+// Exists reports object existence.
+func (g *Gateway) Exists(p *sim.Proc, pool *Pool, oid string) (bool, error) {
+	primary, err := g.metaOp(p, pool, oid)
+	if err != nil {
+		return false, err
+	}
+	if pool.Red.Kind == Erasure {
+		return g.ecExists(pool, oid), nil
+	}
+	return primary.store.Exists(store.Key{Pool: pool.ID, OID: oid}), nil
+}
+
+// GetXattr reads an extended attribute.
+func (g *Gateway) GetXattr(p *sim.Proc, pool *Pool, oid, name string) ([]byte, error) {
+	primary, err := g.metaOp(p, pool, oid)
+	if err != nil {
+		return nil, err
+	}
+	if pool.Red.Kind == Erasure {
+		return ecView{g: g, p: p, pool: pool, oid: oid}.GetXattr(name)
+	}
+	return primary.store.GetXattr(store.Key{Pool: pool.ID, OID: oid}, name)
+}
+
+// SetXattr writes an extended attribute (replicated like any mutation).
+func (g *Gateway) SetXattr(p *sim.Proc, pool *Pool, oid, name string, value []byte) error {
+	return g.Mutate(p, pool, oid, func(View) (*store.Txn, error) {
+		return store.NewTxn().SetXattr(name, value), nil
+	})
+}
+
+// OmapGet reads one omap value.
+func (g *Gateway) OmapGet(p *sim.Proc, pool *Pool, oid, key string) ([]byte, error) {
+	primary, err := g.metaOp(p, pool, oid)
+	if err != nil {
+		return nil, err
+	}
+	if pool.Red.Kind == Erasure {
+		return ecView{g: g, p: p, pool: pool, oid: oid}.OmapGet(key)
+	}
+	return primary.store.OmapGet(store.Key{Pool: pool.ID, OID: oid}, key)
+}
+
+// OmapList lists up to max omap keys (all if max<=0).
+func (g *Gateway) OmapList(p *sim.Proc, pool *Pool, oid string, max int) ([]string, error) {
+	primary, err := g.metaOp(p, pool, oid)
+	if err != nil {
+		return nil, err
+	}
+	if pool.Red.Kind == Erasure {
+		return ecView{g: g, p: p, pool: pool, oid: oid}.OmapList(max)
+	}
+	return primary.store.OmapList(store.Key{Pool: pool.ID, OID: oid}, max)
+}
+
+// OmapSet writes omap entries.
+func (g *Gateway) OmapSet(p *sim.Proc, pool *Pool, oid string, kv map[string][]byte) error {
+	return g.Mutate(p, pool, oid, func(View) (*store.Txn, error) {
+		txn := store.NewTxn().Create()
+		for k, v := range kv {
+			txn.OmapSet(k, v)
+		}
+		return txn, nil
+	})
+}
+
+// Mutate runs a read-modify-write on one object under the PG lock: the
+// closure sees the current state and returns the transaction to apply. This
+// is the analog of a Ceph object-class operation and is what the dedup layer
+// uses for atomic reference counting on chunk objects (§4.4.1 steps 3–5).
+// The request itself is treated as small; use MutateWithPayload when the
+// caller ships bulk data with the operation.
+func (g *Gateway) Mutate(p *sim.Proc, pool *Pool, oid string, fn MutateFn) error {
+	return g.MutateWithPayload(p, pool, oid, 0, fn)
+}
+
+// MutateWithPayload is Mutate for operations that carry payload bytes from
+// the caller (e.g. a write plus metadata update, or a chunk create-or-ref):
+// the payload is charged on the caller's outbound link and the primary's
+// inbound link. Replicas always receive the full resulting transaction.
+func (g *Gateway) MutateWithPayload(p *sim.Proc, pool *Pool, oid string, payload int, fn MutateFn) error {
+	if pool.Red.Kind == Erasure {
+		return g.ecMutate(p, pool, oid, payload, fn)
+	}
+	primary, _, unlock, err := g.prepare(p, pool, oid, true)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	key := store.Key{Pool: pool.ID, OID: oid}
+	// Request (with any bulk payload) crosses the wire.
+	if payload > 0 {
+		g.c.netSend(p, g.nic, payload)
+		g.c.netSend(p, primary.host.nic, payload)
+	} else {
+		p.Sleep(g.c.cost.NetLatency)
+	}
+	primary.host.cpu.Use(p, g.c.cost.OpOverhead)
+	txn, err := fn(replView{st: primary.store, k: key})
+	if err != nil {
+		g.noteOp(0)
+		return err
+	}
+	if txn == nil || txn.Empty() {
+		p.Sleep(g.c.cost.NetLatency) // ack
+		g.noteOp(0)
+		return nil
+	}
+	if err := g.replicate(p, pool, oid, txn, txn.Bytes()); err != nil {
+		return err
+	}
+	g.noteOp(max(payload, txn.Bytes()))
+	return nil
+}
+
+// --- Internal plumbing -------------------------------------------------------
+
+// prepare resolves placement and (optionally) acquires the PG lock.
+func (g *Gateway) prepare(p *sim.Proc, pool *Pool, oid string, lock bool) (primary *osd, pg crush.PG, unlock func(), err error) {
+	pg = g.c.PGOf(pool, oid)
+	acting := g.c.acting(pool, pg)
+	if len(acting) == 0 {
+		return nil, pg, nil, ErrNoOSD
+	}
+	unlock = func() {}
+	if lock {
+		l := g.c.pgLock(pg)
+		l.Acquire(p)
+		unlock = func() { l.Release(p) }
+	}
+	return acting[0], pg, unlock, nil
+}
+
+// applyTxn transfers the payload to the primary and replicates the txn.
+func (g *Gateway) applyTxn(p *sim.Proc, pool *Pool, oid string, txn *store.Txn, payload int) error {
+	primary, _, unlock, err := g.prepare(p, pool, oid, true)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	// Client -> primary transfer: the payload serializes out of the client
+	// link and into the primary host's link.
+	g.c.netSend(p, g.nic, payload)
+	g.c.netSend(p, primary.host.nic, payload)
+	return g.replicate(p, pool, oid, txn, payload)
+}
+
+// replicate applies txn at the primary and fans out to replicas, returning
+// after all replicas ack (primary-copy replication). Caller holds the PG
+// lock.
+func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn, payload int) error {
+	pg := g.c.PGOf(pool, oid)
+	acting := g.c.acting(pool, pg)
+	if len(acting) == 0 {
+		return ErrNoOSD
+	}
+	primary := acting[0]
+	key := store.Key{Pool: pool.ID, OID: oid}
+	cost := g.c.cost
+
+	primary.host.cpu.Use(p, cost.OpOverhead+cost.Checksum(payload))
+	if err := primary.store.Apply(key, txn); err != nil {
+		return err
+	}
+	sigs := make([]*sim.Signal, 0, len(acting))
+	sigs = append(sigs, p.Go("journal", func(q *sim.Proc) {
+		primary.diskWrite(q, cost, txn.Bytes())
+	}))
+	for _, r := range acting[1:] {
+		r := r
+		sigs = append(sigs, p.Go("replica", func(q *sim.Proc) {
+			g.c.netSend(q, r.host.nic, payload)
+			r.host.cpu.Use(q, cost.OpOverhead)
+			if err := r.store.Apply(key, txn); err != nil {
+				panic(fmt.Sprintf("rados: replica apply diverged: %v", err))
+			}
+			r.diskWrite(q, cost, txn.Bytes())
+		}))
+	}
+	sim.WaitAll(p, sigs...)
+	p.Sleep(cost.NetLatency) // ack to client
+	return nil
+}
+
+// PeekXattr reads an xattr from the acting primary without charging a
+// separate round trip. It models a server-side sub-step of an enclosing
+// operation (e.g. the dedup read path's chunk-map lookup, §4.5 read step 3,
+// which the primary performs while handling the read) — the enclosing op's
+// OpOverhead covers it.
+func (g *Gateway) PeekXattr(pool *Pool, oid, name string) ([]byte, error) {
+	acting := g.c.acting(pool, g.c.PGOf(pool, oid))
+	if len(acting) == 0 {
+		return nil, ErrNoOSD
+	}
+	return acting[0].store.GetXattr(store.Key{Pool: pool.ID, OID: oid}, name)
+}
+
+// ClientXfer charges the client-side link for n bytes delivered to this
+// gateway — used by layered services (e.g. dedup read redirection) whose
+// final hop is proxied through a storage node back to the client.
+func (g *Gateway) ClientXfer(p *sim.Proc, n int) {
+	g.c.netSend(p, g.nic, n)
+}
+
+// PrimaryHost returns the host of the acting primary for an object — where
+// server-side dedup logic (redirection, background flush) runs.
+func (c *Cluster) PrimaryHost(pool *Pool, oid string) (string, error) {
+	acting := c.acting(pool, c.PGOf(pool, oid))
+	if len(acting) == 0 {
+		return "", ErrNoOSD
+	}
+	return acting[0].host.name, nil
+}
+
+// UseHostCPU charges d of CPU work on a host's cores (e.g. fingerprinting
+// during background deduplication).
+func (c *Cluster) UseHostCPU(p *sim.Proc, hostName string, d time.Duration) error {
+	h, ok := c.hosts[hostName]
+	if !ok {
+		return fmt.Errorf("rados: unknown host %q", hostName)
+	}
+	h.cpu.Use(p, d)
+	return nil
+}
+
+// metaOp charges the fixed cost of a small metadata read at the primary.
+func (g *Gateway) metaOp(p *sim.Proc, pool *Pool, oid string) (*osd, error) {
+	primary, _, unlock, err := g.prepare(p, pool, oid, false)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	p.Sleep(g.c.cost.NetLatency)
+	primary.host.cpu.Use(p, g.c.cost.OpOverhead)
+	primary.diskRead(p, g.c.cost, 512)
+	p.Sleep(g.c.cost.NetLatency)
+	return primary, nil
+}

@@ -1,0 +1,87 @@
+package rados
+
+import (
+	"sort"
+
+	"dedupstore/internal/store"
+)
+
+// PoolStats summarizes one pool's contents and footprint.
+type PoolStats struct {
+	Name string
+	// Objects is the number of distinct objects in the pool.
+	Objects int
+	// LogicalBytes counts each object's data once (no redundancy).
+	LogicalBytes int64
+	// StoredPhysical is the raw data footprint across all replicas/shards,
+	// after any node-local compression model.
+	StoredPhysical int64
+	// StoredMetadata is the xattr/omap/per-object overhead footprint across
+	// all replicas/shards.
+	StoredMetadata int64
+}
+
+// StoredTotal is the complete raw footprint of the pool.
+func (ps PoolStats) StoredTotal() int64 { return ps.StoredPhysical + ps.StoredMetadata }
+
+// PoolStats computes statistics for one pool by scanning all OSD stores.
+func (c *Cluster) PoolStats(pool *Pool) PoolStats {
+	ps := PoolStats{Name: pool.Name}
+	logical := make(map[string]int64)
+	for _, id := range c.cmap.OSDs() {
+		o := c.osds[id]
+		u := o.store.PoolUsage(pool.ID)
+		ps.StoredPhysical += u.Physical
+		ps.StoredMetadata += u.Metadata
+		for _, key := range o.store.Keys() {
+			if key.Pool != pool.ID {
+				continue
+			}
+			if _, seen := logical[key.OID]; seen {
+				continue
+			}
+			if pool.Red.Kind == Erasure {
+				logical[key.OID] = int64(getU64(mustXattr(o.store, key, xattrECLen)))
+			} else if n, err := o.store.Size(key); err == nil {
+				logical[key.OID] = n
+			}
+		}
+	}
+	ps.Objects = len(logical)
+	for _, n := range logical {
+		ps.LogicalBytes += n
+	}
+	return ps
+}
+
+// ListObjects returns the distinct object IDs in a pool, sorted.
+func (c *Cluster) ListObjects(pool *Pool) []string {
+	seen := make(map[string]bool)
+	for _, id := range c.cmap.OSDs() {
+		o := c.osds[id]
+		for _, key := range o.store.Keys() {
+			if key.Pool == pool.ID {
+				seen[key.OID] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for oid := range seen {
+		out = append(out, oid)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalUsage aggregates raw usage across every OSD store.
+func (c *Cluster) TotalUsage() store.Usage {
+	var total store.Usage
+	for _, id := range c.cmap.OSDs() {
+		u := c.osds[id].store.Usage()
+		total.Objects += u.Objects
+		total.Data += u.Data
+		total.Physical += u.Physical
+		total.Metadata += u.Metadata
+	}
+	return total
+}

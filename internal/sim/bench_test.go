@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineEvents measures raw DES event throughput: the budget every
+// simulated I/O spends in the kernel.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := New(1)
+	e.Go("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkResourceHandoff(b *testing.B) {
+	e := New(1)
+	r := NewResource("x", 1)
+	for w := 0; w < 4; w++ {
+		e.Go("worker", func(p *Proc) {
+			for i := 0; i < b.N/4; i++ {
+				r.Use(p, time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,483 @@
+// Package sim provides a deterministic discrete-event simulation (DES)
+// kernel. Every timing-sensitive component in this repository — OSD disks,
+// network links, client think time, background deduplication threads — runs
+// as a sim.Proc on a shared virtual clock, so experiments are exactly
+// reproducible across runs and machines.
+//
+// The kernel uses goroutine-based processes: each Proc is a goroutine that
+// runs exclusively (one at a time), parking itself whenever it waits on the
+// virtual clock or a synchronization primitive. The engine resumes processes
+// in (time, sequence) order, which makes every run deterministic for a fixed
+// seed and program.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp: nanoseconds since the start of the simulation.
+type Time int64
+
+// Duration converts a virtual timestamp to a time.Duration since sim start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the timestamp in seconds since sim start.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled wakeup. Events with fn != nil are callback events;
+// otherwise proc is resumed.
+type event struct {
+	at     Time
+	seq    uint64
+	proc   *Proc
+	fn     func()
+	daemon bool
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the event queue. Create one with New,
+// spawn processes with Go, then call Run.
+//
+// Engine is not safe for concurrent use from arbitrary goroutines: only the
+// engine goroutine and the single currently-running Proc may touch it, which
+// is exactly the DES execution model.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	yield   chan struct{}
+	rng     *rand.Rand
+	cur     *Proc // currently executing process (nil in engine/callback context)
+	live    int   // processes spawned and not yet finished
+	running bool
+
+	// Daemon bookkeeping: daemon processes (background pollers) do not keep
+	// the simulation alive. Run returns once no non-daemon work remains.
+	nonDaemonLive   int
+	nonDaemonEvents int
+}
+
+// New returns an empty engine whose randomness is derived from seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. Only the currently
+// running process may use it.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+func (e *Engine) schedule(at Time, p *Proc, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	daemon := false
+	switch {
+	case p != nil:
+		daemon = p.daemon
+	case e.cur != nil:
+		daemon = e.cur.daemon
+	}
+	if !daemon {
+		e.nonDaemonEvents++
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, proc: p, fn: fn, daemon: daemon})
+}
+
+// After schedules fn to run as a callback at now+d. The callback runs on the
+// engine goroutine and must not park; use Go for anything that waits.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.schedule(e.now+Time(d), nil, fn)
+}
+
+// Proc is a simulated process. All waiting primitives take the Proc so that
+// the kernel can park and resume the right goroutine.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	done   *Signal
+	daemon bool
+}
+
+// Daemon reports whether this is a daemon process.
+func (p *Proc) Daemon() bool { return p.daemon }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Rand returns the engine's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.e.rng }
+
+// Go spawns fn as a new process starting at the current virtual time and
+// returns a Signal fired when it finishes. A process spawned from within a
+// daemon inherits daemon status (a daemon's helper work should not keep the
+// simulation alive either).
+func (e *Engine) Go(name string, fn func(p *Proc)) *Signal {
+	return e.goAt(e.now, name, fn, e.cur != nil && e.cur.daemon)
+}
+
+// GoDaemon spawns a daemon process: a background service (poller, scrubber,
+// dedup worker) that runs while foreground work exists but does not prevent
+// Run from returning once all non-daemon processes and events are done.
+func (e *Engine) GoDaemon(name string, fn func(p *Proc)) *Signal {
+	return e.goAt(e.now, name, fn, true)
+}
+
+// GoAt spawns fn as a new process that starts at virtual time at.
+func (e *Engine) GoAt(at Time, name string, fn func(p *Proc)) *Signal {
+	return e.goAt(at, name, fn, e.cur != nil && e.cur.daemon)
+}
+
+func (e *Engine) goAt(at Time, name string, fn func(p *Proc), daemon bool) *Signal {
+	p := &Proc{e: e, name: name, resume: make(chan struct{}), done: NewSignal(), daemon: daemon}
+	e.live++
+	if !daemon {
+		e.nonDaemonLive++
+	}
+	go func() {
+		<-p.resume // wait for first resume
+		fn(p)
+		e.live--
+		if !p.daemon {
+			e.nonDaemonLive--
+		}
+		p.done.fire(e)
+		e.yield <- struct{}{} // return control to engine; goroutine ends
+	}()
+	e.schedule(at, p, nil)
+	return p.done
+}
+
+// Go spawns a child process at the current time (convenience for procs).
+func (p *Proc) Go(name string, fn func(p *Proc)) *Signal {
+	return p.e.Go(name, fn)
+}
+
+// park transfers control back to the engine and blocks until resumed.
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.schedule(p.e.now+Time(d), p, nil)
+	p.park()
+}
+
+// SleepUntil parks the process until virtual time t (no-op if t <= now).
+func (p *Proc) SleepUntil(t Time) {
+	p.e.schedule(t, p, nil)
+	p.park()
+}
+
+// Run processes events until no non-daemon work remains (all non-daemon
+// processes finished and their events drained) or the queue empties. It
+// returns the number of processes still live (daemons waiting for the next
+// Run, or non-daemons blocked on primitives — the latter usually indicates
+// a deadlock).
+func (e *Engine) Run() int { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil processes events with at <= limit. Events beyond the limit stay
+// queued, so RunUntil may be called repeatedly with growing limits.
+func (e *Engine) RunUntil(limit Time) int {
+	if e.running {
+		panic("sim: nested Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 {
+		if e.nonDaemonLive == 0 && e.nonDaemonEvents == 0 {
+			break // only daemon work remains; it parks until the next Run
+		}
+		if e.pq[0].at > limit {
+			break
+		}
+		ev := heap.Pop(&e.pq).(event)
+		if !ev.daemon {
+			e.nonDaemonEvents--
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		e.cur = ev.proc
+		ev.proc.resume <- struct{}{}
+		<-e.yield
+		e.cur = nil
+	}
+	if e.now < limit && limit < Time(1<<62-1) {
+		e.now = limit
+	}
+	return e.live
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Live reports the number of spawned-but-unfinished processes.
+func (e *Engine) Live() int { return e.live }
+
+// ---------------------------------------------------------------------------
+// Signal: a one-shot broadcast event.
+
+// Signal is a one-shot event: processes Wait on it and are all released when
+// it is Fired. Waiting on an already-fired signal returns immediately.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal() *Signal { return &Signal{} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+func (s *Signal) fire(e *Engine) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		e.schedule(e.now, w, nil)
+	}
+	s.waiters = nil
+}
+
+// Fire releases all waiters at the current virtual time. Firing twice is a
+// no-op.
+func (s *Signal) Fire(p *Proc) { s.fire(p.e) }
+
+// FireAt schedules the signal to fire at virtual time t (engine callback).
+func (s *Signal) FireAt(e *Engine, t Time) {
+	e.schedule(t, nil, func() { s.fire(e) })
+}
+
+// Wait parks p until the signal fires.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// WaitAll parks p until every signal has fired.
+func WaitAll(p *Proc, sigs ...*Signal) {
+	for _, s := range sigs {
+		s.Wait(p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Resource: a FIFO server pool (disk, NIC, CPU core set).
+
+// Resource models a station with fixed concurrency: at most Cap holders at a
+// time, FIFO granting order. It is the building block for disk queues, NIC
+// serialization and CPU cores.
+type Resource struct {
+	name    string
+	cap     int
+	inUse   int
+	waiters []*Proc
+
+	// Busy accounting for utilization reporting.
+	busy      time.Duration
+	lastStamp Time
+}
+
+// NewResource returns a resource with the given concurrency cap.
+func NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{name: name, cap: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// InUse reports current holders.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports processes waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) stamp(now Time) {
+	if r.inUse > 0 {
+		r.busy += time.Duration(now-r.lastStamp) * time.Duration(min(r.inUse, r.cap)) / time.Duration(r.cap)
+	}
+	r.lastStamp = now
+}
+
+// BusyTime returns the accumulated busy time (capacity-weighted) up to now.
+func (r *Resource) BusyTime(now Time) time.Duration {
+	r.stamp(now)
+	return r.busy
+}
+
+// Acquire blocks p until a slot is free, FIFO order.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.stamp(p.Now())
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// Slot was transferred to us by Release; accounting already updated.
+}
+
+// Release frees a slot and hands it to the first waiter, if any.
+func (r *Resource) Release(p *Proc) {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	r.stamp(p.Now())
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Slot stays in use, transferred to w.
+		p.e.schedule(p.Now(), w, nil)
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for d of virtual time, and releases it.
+// This is the common "serve one request at a station" pattern.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release(p)
+}
+
+// ---------------------------------------------------------------------------
+// Queue: typed FIFO mailbox between processes.
+
+// Queue is an unbounded FIFO channel between processes. Pop parks when empty;
+// Push wakes the longest-waiting consumer.
+type Queue[T any] struct {
+	items   []T
+	waiters []*Proc
+	closed  bool
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Len reports queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push enqueues v and wakes one waiting consumer.
+func (q *Queue[T]) Push(p *Proc, v T) {
+	if q.closed {
+		panic("sim: push to closed queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOne(p.e)
+}
+
+// PushFrom enqueues v from an engine callback context.
+func (q *Queue[T]) PushFrom(e *Engine, v T) {
+	if q.closed {
+		panic("sim: push to closed queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOne(e)
+}
+
+func (q *Queue[T]) wakeOne(e *Engine) {
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		e.schedule(e.now, w, nil)
+	}
+}
+
+// Close marks the queue closed; blocked and future Pops return ok=false once
+// drained.
+func (q *Queue[T]) Close(p *Proc) {
+	q.closed = true
+	for _, w := range q.waiters {
+		p.e.schedule(p.Now(), w, nil)
+	}
+	q.waiters = nil
+}
+
+// Pop dequeues the next item, parking until one is available. ok is false if
+// the queue was closed and drained.
+func (q *Queue[T]) Pop(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryPop dequeues without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Model-based test: random transaction sequences applied to the Store must
+// agree with a trivial reference model at every step. This is the deepest
+// correctness check for the transactional object store — everything above
+// it (replication, dedup metadata, EC shards) assumes these semantics.
+
+// modelObject is the reference implementation.
+type modelObject struct {
+	data    []byte
+	xattr   map[string]string
+	omap    map[string]string
+	punched int64
+}
+
+type model struct {
+	objects map[Key]*modelObject
+}
+
+func newModel() *model { return &model{objects: make(map[Key]*modelObject)} }
+
+func (m *model) apply(k Key, t *Txn) {
+	obj := m.objects[k]
+	for _, op := range t.Ops {
+		if op.Kind == OpDelete {
+			delete(m.objects, k)
+			obj = nil
+			continue
+		}
+		if obj == nil {
+			obj = &modelObject{xattr: map[string]string{}, omap: map[string]string{}}
+			m.objects[k] = obj
+		}
+		switch op.Kind {
+		case OpWrite:
+			end := op.Off + int64(len(op.Data))
+			for int64(len(obj.data)) < end {
+				obj.data = append(obj.data, 0)
+			}
+			copy(obj.data[op.Off:], op.Data)
+		case OpWriteFull:
+			obj.data = append([]byte(nil), op.Data...)
+		case OpTruncate:
+			n := op.Off
+			if n < 0 {
+				n = 0
+			}
+			for int64(len(obj.data)) < n {
+				obj.data = append(obj.data, 0)
+			}
+			obj.data = obj.data[:n]
+		case OpZero:
+			end := op.Off + op.Len
+			if end > int64(len(obj.data)) {
+				end = int64(len(obj.data))
+			}
+			for i := op.Off; i >= 0 && i < end; i++ {
+				obj.data[i] = 0
+			}
+		case OpSetXattr:
+			obj.xattr[op.Name] = string(op.Value)
+		case OpRmXattr:
+			delete(obj.xattr, op.Name)
+		case OpOmapSet:
+			obj.omap[op.Name] = string(op.Value)
+		case OpOmapRm:
+			delete(obj.omap, op.Name)
+		case OpCreate:
+		}
+	}
+}
+
+// randomTxn builds a random transaction of 1-4 ops.
+func randomTxn(rng *rand.Rand) *Txn {
+	t := NewTxn()
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(9) {
+		case 0:
+			buf := make([]byte, rng.Intn(300))
+			rng.Read(buf)
+			t.Write(int64(rng.Intn(1000)), buf)
+		case 1:
+			buf := make([]byte, rng.Intn(500))
+			rng.Read(buf)
+			t.WriteFull(buf)
+		case 2:
+			t.Truncate(int64(rng.Intn(1200)))
+		case 3:
+			t.Zero(int64(rng.Intn(1000)), int64(rng.Intn(400)))
+		case 4:
+			t.SetXattr(fmt.Sprintf("x%d", rng.Intn(4)), []byte{byte(rng.Intn(256))})
+		case 5:
+			t.RmXattr(fmt.Sprintf("x%d", rng.Intn(4)))
+		case 6:
+			t.OmapSet(fmt.Sprintf("k%d", rng.Intn(6)), []byte{byte(rng.Intn(256))})
+		case 7:
+			t.OmapRm(fmt.Sprintf("k%d", rng.Intn(6)))
+		case 8:
+			if rng.Intn(4) == 0 { // deletes are rarer
+				t.Delete()
+			} else {
+				t.Create()
+			}
+		}
+	}
+	return t
+}
+
+func compareObject(t *testing.T, step int, st *Store, m *model, k Key) {
+	t.Helper()
+	want, wantOK := m.objects[k]
+	if st.Exists(k) != wantOK {
+		t.Fatalf("step %d: existence mismatch for %v (model %v)", step, k, wantOK)
+	}
+	if !wantOK {
+		return
+	}
+	got, err := st.Read(k, 0, -1)
+	if err != nil {
+		t.Fatalf("step %d: read: %v", step, err)
+	}
+	if len(got) == 0 {
+		got = nil
+	}
+	wantData := want.data
+	if len(wantData) == 0 {
+		wantData = nil
+	}
+	if !bytes.Equal(got, wantData) {
+		t.Fatalf("step %d: data mismatch (%d vs %d bytes)", step, len(got), len(wantData))
+	}
+	if sz, _ := st.Size(k); sz != int64(len(want.data)) {
+		t.Fatalf("step %d: size %d != %d", step, sz, len(want.data))
+	}
+	for name, v := range want.xattr {
+		got, err := st.GetXattr(k, name)
+		if err != nil || string(got) != v {
+			t.Fatalf("step %d: xattr %s mismatch", step, name)
+		}
+	}
+	for name, v := range want.omap {
+		got, err := st.OmapGet(k, name)
+		if err != nil || string(got) != v {
+			t.Fatalf("step %d: omap %s mismatch", step, name)
+		}
+	}
+	keys, _ := st.OmapList(k, 0)
+	if len(keys) != len(want.omap) {
+		t.Fatalf("step %d: omap key count %d != %d", step, len(keys), len(want.omap))
+	}
+}
+
+func TestModelBasedTransactions(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			st := New()
+			m := newModel()
+			keys := []Key{{1, "a"}, {1, "b"}, {2, "a"}}
+			for step := 0; step < 500; step++ {
+				k := keys[rng.Intn(len(keys))]
+				txn := randomTxn(rng)
+				if err := st.Apply(k, txn); err != nil {
+					t.Fatalf("step %d: apply: %v", step, err)
+				}
+				m.apply(k, txn)
+				compareObject(t, step, st, m, k)
+			}
+			// Final sweep over all keys, plus usage sanity.
+			for _, k := range keys {
+				compareObject(t, 500, st, m, k)
+			}
+			u := st.Usage()
+			if u.Objects != len(m.objects) {
+				t.Fatalf("usage objects %d != model %d", u.Objects, len(m.objects))
+			}
+			if u.Physical > u.Data {
+				t.Fatalf("physical %d exceeds logical %d (punch accounting)", u.Physical, u.Data)
+			}
+		})
+	}
+}
+
+func TestModelRandomReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	st := New()
+	m := newModel()
+	k := Key{3, "r"}
+	for step := 0; step < 200; step++ {
+		txn := randomTxn(rng)
+		st.Apply(k, txn)
+		m.apply(k, txn)
+		if obj, ok := m.objects[k]; ok && len(obj.data) > 0 {
+			off := int64(rng.Intn(len(obj.data)))
+			length := int64(rng.Intn(len(obj.data)))
+			got, err := st.Read(k, off, length)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			end := off + length
+			if end > int64(len(obj.data)) {
+				end = int64(len(obj.data))
+			}
+			want := obj.data[off:end]
+			if len(want) == 0 {
+				want = nil
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: range read mismatch at [%d,+%d)", step, off, length)
+			}
+		}
+	}
+}

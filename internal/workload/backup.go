@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// Backup-stream workload: successive generations of the same dataset with
+// byte-level insertions, deletions and modifications. This is the workload
+// class where content-defined chunking beats static chunking — a single
+// inserted byte shifts every later fixed-chunk boundary, but CDC boundaries
+// move with the content (the HYDRAstor/backup-system setting of the paper's
+// related work, §7).
+type BackupConfig struct {
+	// BaseSize is generation 0's size.
+	BaseSize int64
+	// Generations is how many backups to produce (including generation 0).
+	Generations int
+	// ChurnPerGen is the fraction of the previous generation mutated per
+	// backup (splits across insertions, deletions and overwrites).
+	ChurnPerGen float64
+	Seed        int64
+}
+
+func (c *BackupConfig) defaults() {
+	if c.BaseSize <= 0 {
+		c.BaseSize = 1 << 20
+	}
+	if c.Generations <= 0 {
+		c.Generations = 4
+	}
+	if c.ChurnPerGen <= 0 {
+		c.ChurnPerGen = 0.03
+	}
+}
+
+// BackupGen produces the generations deterministically.
+type BackupGen struct {
+	cfg  BackupConfig
+	gens [][]byte
+}
+
+// NewBackupGen materializes all generations up front (sizes are scaled, so
+// this stays small).
+func NewBackupGen(cfg BackupConfig) *BackupGen {
+	cfg.defaults()
+	g := &BackupGen{cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := make([]byte, cfg.BaseSize)
+	rng.Read(base)
+	g.gens = append(g.gens, base)
+	for i := 1; i < cfg.Generations; i++ {
+		g.gens = append(g.gens, mutate(g.gens[i-1], cfg.ChurnPerGen, rng))
+	}
+	return g
+}
+
+// Generations returns the number of generations.
+func (g *BackupGen) Generations() int { return len(g.gens) }
+
+// Generation returns generation i's content (shared slice; do not mutate).
+func (g *BackupGen) Generation(i int) []byte { return g.gens[i] }
+
+// TotalBytes is the logical size across all generations.
+func (g *BackupGen) TotalBytes() int64 {
+	var n int64
+	for _, gen := range g.gens {
+		n += int64(len(gen))
+	}
+	return n
+}
+
+// mutate applies churn edits: small inserts, deletes and overwrites at
+// random byte offsets (deliberately unaligned).
+func mutate(prev []byte, churn float64, rng *rand.Rand) []byte {
+	out := append([]byte(nil), prev...)
+	budget := int(float64(len(prev)) * churn)
+	for budget > 0 {
+		editLen := 16 + rng.Intn(2048)
+		if editLen > budget {
+			editLen = budget
+		}
+		budget -= editLen
+		pos := rng.Intn(len(out) + 1)
+		switch rng.Intn(3) {
+		case 0: // insert
+			ins := make([]byte, editLen)
+			rng.Read(ins)
+			out = append(out[:pos], append(ins, out[pos:]...)...)
+		case 1: // delete
+			end := pos + editLen
+			if end > len(out) {
+				end = len(out)
+			}
+			out = append(out[:pos], out[end:]...)
+		default: // overwrite
+			end := pos + editLen
+			if end > len(out) {
+				end = len(out)
+			}
+			rng.Read(out[pos:end])
+		}
+		if len(out) == 0 {
+			out = []byte{0}
+		}
+	}
+	return out
+}

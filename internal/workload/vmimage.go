@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+
+	"dedupstore/internal/client"
+	"dedupstore/internal/sim"
+)
+
+// VM-image population for the Fig. 13 experiment: "ten 8GB of Ubuntu VM
+// images ... The OS images are the same but user home data are different."
+// Real images are mostly identical OS blocks plus a modest unique home
+// directory and large unallocated (zero) regions — which is why ten 8GB
+// images deduplicate to ~2.2GB (with 2× replication) and each additional
+// image adds only ~200MB.
+type VMImageConfig struct {
+	// ImageSize is the virtual disk size (paper: 8GB; scaled here).
+	ImageSize int64
+	// OSFrac is the fraction of the image holding the shared OS install.
+	OSFrac float64
+	// HomeFrac is the fraction holding per-VM unique home data.
+	HomeFrac float64
+	// The remainder of the image is zeros (unallocated).
+	// BlockSize is the write granularity (chunk-aligned content).
+	BlockSize int64
+	// Thick writes the zero regions too (the paper's 8GB images occupy
+	// their full size under plain replication — Fig. 13's "rep" line is
+	// ImageSize × images × 2); thin images skip unallocated space.
+	Thick bool
+	Seed  int64
+}
+
+func (c *VMImageConfig) defaults() {
+	if c.ImageSize <= 0 {
+		c.ImageSize = 8 << 20 // 8GB scaled 1000:1
+	}
+	if c.OSFrac <= 0 {
+		c.OSFrac = 0.12
+	}
+	if c.HomeFrac <= 0 {
+		c.HomeFrac = 0.025
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 32 << 10
+	}
+}
+
+// WriteVMImage writes VM image number vm onto a block device. OS blocks are
+// identical across VMs (and compressible, like real binaries/config trees);
+// home blocks are unique per VM; zero regions are skipped (thin images).
+func WriteVMImage(p *sim.Proc, dev *client.BlockDevice, cfg VMImageConfig, vm int) error {
+	cfg.defaults()
+	osBytes := int64(float64(cfg.ImageSize)*cfg.OSFrac) / cfg.BlockSize * cfg.BlockSize
+	homeBytes := int64(float64(cfg.ImageSize)*cfg.HomeFrac) / cfg.BlockSize * cfg.BlockSize
+	osPool := NewBlockPool(int(cfg.BlockSize), cfg.Seed+1009, true)
+
+	// OS region: shared blocks, identical layout in every image.
+	for off := int64(0); off < osBytes; off += cfg.BlockSize {
+		buf := make([]byte, cfg.BlockSize)
+		osPool.Block(off/cfg.BlockSize, buf)
+		if err := dev.WriteAt(p, off, buf); err != nil {
+			return fmt.Errorf("workload: vm %d os block: %w", vm, err)
+		}
+	}
+	// Home region: unique, compressible user data.
+	for off := int64(0); off < homeBytes; off += cfg.BlockSize {
+		buf := make([]byte, cfg.BlockSize)
+		fillCompressible(buf, cfg.Seed+int64(vm)*999983+off)
+		if err := dev.WriteAt(p, osBytes+off, buf); err != nil {
+			return fmt.Errorf("workload: vm %d home block: %w", vm, err)
+		}
+	}
+	// The rest of the image: zeros. Thick images write them (and global
+	// dedup later collapses them all into a single zero chunk); thin images
+	// skip them.
+	if cfg.Thick {
+		zero := make([]byte, cfg.BlockSize)
+		for off := osBytes + homeBytes; off+cfg.BlockSize <= cfg.ImageSize; off += cfg.BlockSize {
+			if err := dev.WriteAt(p, off, zero); err != nil {
+				return fmt.Errorf("workload: vm %d zero block: %w", vm, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Package xxh provides small, fast, seedable non-cryptographic 64-bit
+// hashing used for CRUSH placement draws and bloom-filter indexing. It is a
+// splitmix64-based mixer: statistically strong avalanche behaviour,
+// deterministic across platforms, and zero allocation.
+package xxh
+
+// Mix64 applies the splitmix64 finalizer to x.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Combine mixes two words into one.
+func Combine(a, b uint64) uint64 {
+	return Mix64(a ^ Mix64(b+0x9e3779b97f4a7c15))
+}
+
+// HashWords hashes a sequence of words under a seed. It is the draw function
+// used by straw2 bucket selection.
+func HashWords(seed uint64, words ...uint64) uint64 {
+	h := Mix64(seed + 0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h = Combine(h, w)
+	}
+	return h
+}
+
+// HashString hashes a string under a seed.
+func HashString(seed uint64, s string) uint64 {
+	h := Mix64(seed + 0x9e3779b97f4a7c15)
+	var cur uint64
+	var n uint
+	for i := 0; i < len(s); i++ {
+		cur |= uint64(s[i]) << (8 * n)
+		n++
+		if n == 8 {
+			h = Combine(h, cur)
+			cur, n = 0, 0
+		}
+	}
+	if n > 0 {
+		h = Combine(h, cur|uint64(n)<<56)
+	}
+	return Combine(h, uint64(len(s)))
+}
+
+// HashBytes hashes a byte slice under a seed.
+func HashBytes(seed uint64, b []byte) uint64 {
+	h := Mix64(seed + 0x9e3779b97f4a7c15)
+	var cur uint64
+	var n uint
+	for i := 0; i < len(b); i++ {
+		cur |= uint64(b[i]) << (8 * n)
+		n++
+		if n == 8 {
+			h = Combine(h, cur)
+			cur, n = 0, 0
+		}
+	}
+	if n > 0 {
+		h = Combine(h, cur|uint64(n)<<56)
+	}
+	return Combine(h, uint64(len(b)))
+}

@@ -1,0 +1,82 @@
+package xxh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Mix64(0x1234567890abcdef)
+	for bit := uint(0); bit < 64; bit++ {
+		diff := base ^ Mix64(0x1234567890abcdef^(1<<bit))
+		ones := popcount(diff)
+		if ones < 12 || ones > 52 {
+			t.Fatalf("bit %d: only %d output bits changed", bit, ones)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestHashStringDeterministic(t *testing.T) {
+	a := HashString(7, "object-name")
+	b := HashString(7, "object-name")
+	if a != b {
+		t.Fatal("not deterministic")
+	}
+	if HashString(8, "object-name") == a {
+		t.Fatal("seed has no effect")
+	}
+	if HashString(7, "object-namf") == a {
+		t.Fatal("content change has no effect")
+	}
+}
+
+func TestHashStringMatchesBytes(t *testing.T) {
+	prop := func(seed uint64, s string) bool {
+		return HashString(seed, s) == HashBytes(seed, []byte(s))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthExtensionDistinct(t *testing.T) {
+	// Strings that are prefixes of each other must hash differently.
+	if HashString(1, "abc") == HashString(1, "abc\x00") {
+		t.Fatal("length extension collision")
+	}
+	if HashString(1, "") == HashString(1, "\x00") {
+		t.Fatal("empty vs NUL collision")
+	}
+}
+
+func TestHashWordsOrderMatters(t *testing.T) {
+	if HashWords(1, 2, 3) == HashWords(1, 3, 2) {
+		t.Fatal("word order ignored")
+	}
+	if HashWords(1) == HashWords(2) {
+		t.Fatal("seed ignored")
+	}
+}
+
+func TestDistributionRough(t *testing.T) {
+	// Bucket 64k sequential keys into 16 bins: each should get ~4096.
+	bins := make([]int, 16)
+	for i := uint64(0); i < 65536; i++ {
+		bins[HashWords(9, i)%16]++
+	}
+	for i, n := range bins {
+		if n < 3600 || n > 4600 {
+			t.Fatalf("bin %d has %d (skewed)", i, n)
+		}
+	}
+}
