@@ -1,0 +1,24 @@
+# Tier-1 verification: everything a PR must keep green.
+.PHONY: verify build test vet race check-tests bench
+
+verify: vet build test check-tests
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Concurrency-sensitive packages under the race detector.
+race:
+	go test -race ./internal/metrics ./internal/sim
+
+# Every internal package must ship tests.
+check-tests:
+	sh scripts/check-tests.sh
+
+bench:
+	go test -bench=. -benchmem

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	dedupbench [-scale f] [experiment ...]
+//	dedupbench [-scale f] [-trace[=N]] [experiment ...]
 //
 // Experiments: fig3 table1 fig5a fig5b fig10 fig11 table2 fig12 table3
-// fig13 fig14 ablation (or "all", the default).
+// fig13 fig14 ablation (or "all", the default). -trace prints the N slowest
+// op spans after each experiment (default 10) with queue-wait vs. service
+// breakdowns per resource; flags may appear after experiment names
+// (`dedupbench fig10 -trace`).
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,7 +27,8 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default scaled sizes; <1 faster)")
 	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	trace := flag.Int("trace", 0, "print the N slowest trace spans after each experiment (bare -trace = 10)")
+	flag.CommandLine.Parse(reorderArgs(os.Args[1:]))
 
 	sc := experiments.Scale{Data: *scale}
 
@@ -94,8 +99,58 @@ func main() {
 		for _, tab := range runner(sc) {
 			fmt.Print(tab)
 		}
+		if *trace > 0 {
+			if rep := experiments.TraceReport(*trace); rep != "" {
+				fmt.Print(rep)
+			}
+		} else {
+			experiments.TraceReport(0) // reset the per-experiment sink list
+		}
 		fmt.Printf("[%s completed in %s wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// reorderArgs lets flags appear after experiment names (Go's flag package
+// stops at the first positional) and gives bare -trace its default of 10.
+// An explicit count is accepted as -trace=N or as a bare integer following
+// -trace.
+func reorderArgs(args []string) []string {
+	var flags, pos []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") || a == "-" {
+			pos = append(pos, a)
+			continue
+		}
+		if a == "--" {
+			pos = append(pos, args[i+1:]...)
+			break
+		}
+		name := strings.TrimLeft(a, "-")
+		if !strings.Contains(name, "=") {
+			switch name {
+			case "trace":
+				a = "-trace=10"
+				if i+1 < len(args) {
+					if _, err := strconv.Atoi(args[i+1]); err == nil {
+						i++
+						a = "-trace=" + args[i]
+					}
+				}
+			case "list", "h", "help":
+				// boolean flags take no value
+			default:
+				// value-taking flag (-scale 0.5): keep the pair together
+				if i+1 < len(args) {
+					flags = append(flags, a)
+					i++
+					a = args[i]
+				}
+			}
+		}
+		flags = append(flags, a)
+	}
+	return append(flags, pos...)
 }
 
 func indexOf(order []string, name string) int {

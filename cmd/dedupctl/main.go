@@ -8,7 +8,7 @@
 //
 //	dedupctl [flags] <action>...
 //
-// Actions: status df scrub corrupt repair gc evict verify
+// Actions: status df metrics scrub corrupt repair gc evict verify
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 		traceIn  = flag.String("trace", "", "replay this block trace instead of synthetic fill")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df scrub corrupt repair gc evict verify\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics scrub corrupt repair gc evict verify\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -80,6 +80,8 @@ func main() {
 			c.status()
 		case "df":
 			c.df()
+		case "metrics":
+			c.metrics()
 		case "scrub":
 			c.scrub(false)
 		case "repair":
@@ -157,6 +159,14 @@ func (c *ctl) df() {
 		fmt.Printf(" -> %.1f%% saved vs %gx replication", 100*(1-float64(total)/(overhead*float64(logical))), overhead)
 	}
 	fmt.Println()
+}
+
+// metrics dumps the cluster-wide registry (Prometheus exposition text) plus
+// the per-resource queue/utilization table.
+func (c *ctl) metrics() {
+	fmt.Print(c.world.Cluster.DumpMetrics())
+	fmt.Println()
+	fmt.Print(dedupstore.FormatUsage(c.world.Cluster.Resources().Snapshot(c.world.Engine.Now())))
 }
 
 func (c *ctl) scrub(repair bool) {

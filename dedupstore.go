@@ -26,6 +26,7 @@ package dedupstore
 import (
 	"dedupstore/internal/client"
 	"dedupstore/internal/core"
+	"dedupstore/internal/metrics"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/simcost"
@@ -53,7 +54,17 @@ type (
 	BlockDevice = client.BlockDevice
 	// CostParams is the simulated-hardware cost model.
 	CostParams = simcost.Params
+	// Registry is the cluster-wide metric registry (Cluster.Metrics).
+	Registry = metrics.Registry
+	// TraceSink collects per-op trace spans (Cluster.Trace).
+	TraceSink = metrics.TraceSink
+	// Span is one traced operation with its queue-wait/service breakdown.
+	Span = metrics.Span
 )
+
+// FormatUsage renders resource utilization rows (Cluster.Resources().Snapshot)
+// as an aligned table.
+var FormatUsage = metrics.FormatUsage
 
 // Redundancy helpers.
 var (
@@ -72,8 +83,14 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 func OpenStore(c *Cluster, cfg Config) (*Store, error) { return core.Open(c, cfg) }
 
 // NewBlockDevice creates a virtual disk backed by a dedup store client.
+// Device-level trace spans record into the cluster's trace sink.
 func NewBlockDevice(name string, size, objectSize int64, cl *Client) (*BlockDevice, error) {
-	return client.NewBlockDevice(name, size, objectSize, &client.DedupBackend{Client: cl})
+	d, err := client.NewBlockDevice(name, size, objectSize, &client.DedupBackend{Client: cl})
+	if err != nil {
+		return nil, err
+	}
+	d.SetTrace(cl.Trace())
+	return d, nil
 }
 
 // World bundles a simulation engine with a ready-made cluster shaped like

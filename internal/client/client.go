@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"dedupstore/internal/core"
+	"dedupstore/internal/metrics"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 )
@@ -74,6 +75,7 @@ type BlockDevice struct {
 	size       int64
 	objectSize int64
 	backend    ObjectBackend
+	sink       *metrics.TraceSink
 }
 
 // NewBlockDevice creates a block device view. objectSize defaults to 4 MiB
@@ -97,6 +99,11 @@ func (d *BlockDevice) Size() int64 { return d.size }
 // ObjectSize returns the stripe object size.
 func (d *BlockDevice) ObjectSize() int64 { return d.objectSize }
 
+// SetTrace attaches a span sink; WriteAt and ReadAt then record device-level
+// spans ("rbd.write"/"rbd.read") that the per-object backend spans nest
+// under. A nil sink disables device-level tracing.
+func (d *BlockDevice) SetTrace(sink *metrics.TraceSink) { d.sink = sink }
+
 // ObjectName returns the backing object name for stripe index idx.
 func (d *BlockDevice) ObjectName(idx int64) string {
 	return fmt.Sprintf("%s.%016x", d.name, idx)
@@ -112,6 +119,8 @@ func (d *BlockDevice) WriteAt(p *sim.Proc, off int64, data []byte) error {
 	if off < 0 || off+int64(len(data)) > d.size {
 		return fmt.Errorf("client: write [%d,%d) outside device %q size %d", off, off+int64(len(data)), d.name, d.size)
 	}
+	sp := d.sink.Start(p, "rbd.write").SetOp(d.name, "", int64(len(data)))
+	defer sp.Finish(p)
 	for len(data) > 0 {
 		idx := off / d.objectSize
 		inObj := off % d.objectSize
@@ -134,6 +143,8 @@ func (d *BlockDevice) ReadAt(p *sim.Proc, off, length int64) ([]byte, error) {
 	if off < 0 || off+length > d.size {
 		return nil, fmt.Errorf("client: read [%d,%d) outside device %q size %d", off, off+length, d.name, d.size)
 	}
+	sp := d.sink.Start(p, "rbd.read").SetOp(d.name, "", length)
+	defer sp.Finish(p)
 	out := make([]byte, length)
 	pos := int64(0)
 	for pos < length {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"dedupstore/internal/hitset"
+	"dedupstore/internal/metrics"
 	"dedupstore/internal/sim"
 )
 
@@ -15,6 +16,7 @@ import (
 type CacheManager struct {
 	tracker     *hitset.Tracker
 	keepHot     bool
+	reg         *metrics.Registry
 	skippedHot  int64
 	keptCached  int64
 	evictedCold int64
@@ -24,6 +26,10 @@ type CacheManager struct {
 func NewCacheManager(cfg hitset.Config, keepHot bool) *CacheManager {
 	return &CacheManager{tracker: hitset.New(cfg), keepHot: keepHot}
 }
+
+// AttachRegistry mirrors the manager's decision counters into a metric
+// registry (nil detaches).
+func (cm *CacheManager) AttachRegistry(reg *metrics.Registry) { cm.reg = reg }
 
 // RecordAccess notes a client read or write of oid.
 func (cm *CacheManager) RecordAccess(now sim.Time, oid string) {
@@ -40,6 +46,7 @@ func (cm *CacheManager) Hot(now sim.Time, oid string) bool {
 func (cm *CacheManager) SkipFlush(now sim.Time, oid string) bool {
 	if cm.tracker.Hot(now, oid) {
 		cm.skippedHot++
+		cm.reg.Counter("cache_skip_flush_hot_total").Inc()
 		return true
 	}
 	return false
@@ -50,9 +57,11 @@ func (cm *CacheManager) SkipFlush(now sim.Time, oid string) bool {
 func (cm *CacheManager) KeepCachedAfterFlush(now sim.Time, oid string) bool {
 	if cm.keepHot && cm.tracker.Hot(now, oid) {
 		cm.keptCached++
+		cm.reg.Counter("cache_keep_cached_total").Inc()
 		return true
 	}
 	cm.evictedCold++
+	cm.reg.Counter("cache_evict_cold_total").Inc()
 	return false
 }
 

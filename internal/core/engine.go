@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dedupstore/internal/metrics"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
@@ -13,9 +14,10 @@ import (
 // EngineStats counts the background engine's work.
 type EngineStats struct {
 	ObjectsScanned int64
-	ChunksFlushed  int64
-	BytesFlushed   int64
+	ChunksFlushed  int64 // chunks that caused real chunk-pool I/O
+	BytesFlushed   int64 // bytes shipped to the chunk pool
 	DupChunks      int64 // flushed chunks that already existed in the chunk pool
+	NoopFlushes    int64 // dirty slots whose content already matched their chunk (no chunk-pool I/O)
 	SkippedHot     int64
 	Requeued       int64 // flushes retried because a write raced
 	ThrottleWaits  int64 // pacing stalls taken by rate control
@@ -56,6 +58,10 @@ func newEngine(s *Store) *Engine {
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() EngineStats { return e.stats }
+
+// reg returns the cluster-wide metric registry; engine counters mirror into
+// it so `dedupctl metrics` shows flush/GC/cache-agent activity.
+func (e *Engine) reg() *metrics.Registry { return e.s.cluster.Metrics() }
 
 // Start spawns the worker processes.
 func (e *Engine) Start() {
@@ -132,6 +138,7 @@ func (e *Engine) nextDirty(p *sim.Proc) (string, bool) {
 			// except during a drain, which force-flushes everything.
 			if !e.draining && s.cache.SkipFlush(p.Now(), oid) {
 				e.stats.SkippedHot++
+				e.reg().Counter("dedup_skipped_hot_total").Inc()
 				continue
 			}
 			return oid, true
@@ -191,6 +198,7 @@ func (e *Engine) pace(p *sim.Proc) {
 			return
 		}
 		e.stats.ThrottleWaits++
+		e.reg().Counter("dedup_throttle_waits_total").Inc()
 		p.Sleep(5 * time.Millisecond)
 	}
 }
@@ -201,6 +209,9 @@ func (e *Engine) pace(p *sim.Proc) {
 func (e *Engine) flushObject(p *sim.Proc, gw *rados.Gateway, hostName, oid string, force bool) error {
 	s := e.s
 	e.stats.ObjectsScanned++
+	e.reg().Counter("dedup_objects_scanned_total").Inc()
+	sp := s.cluster.Trace().Start(p, "dedup.flush").SetOp(s.meta.Name, "", 0)
+	defer sp.Finish(p)
 
 	// Claim: remove from the dirty list first; any racing client write
 	// re-adds the object (its OmapSet is idempotent), so nothing is lost.
@@ -266,6 +277,7 @@ func (e *Engine) flushObject(p *sim.Proc, gw *rados.Gateway, hostName, oid strin
 	sim.WaitAll(p, sigs...)
 	if requeue {
 		e.stats.Requeued++
+		e.reg().Counter("dedup_requeued_total").Inc()
 		return gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
 			return store.NewTxn().Create().OmapSet(oid, nil), nil
 		})
@@ -326,6 +338,11 @@ func (e *Engine) EvictCold(p *sim.Proc) EvictStats {
 			continue
 		}
 	}
+	reg := e.reg()
+	reg.Counter("cache_agent_passes_total").Inc()
+	reg.Counter("cache_agent_chunks_evicted_total").Add(stats.ChunksEvicted)
+	reg.Counter("cache_agent_bytes_evicted_total").Add(stats.BytesEvicted)
+	reg.Counter("cache_agent_skipped_hot_total").Add(stats.SkippedHot)
 	return stats
 }
 
@@ -386,18 +403,26 @@ func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid
 		return false, errCrash
 	}
 
-	// Steps 4–5: create-or-incref at the content-addressed location.
+	// Steps 4–5: create-or-incref at the content-addressed location. When the
+	// slot already points at the right chunk (same content rewritten) no
+	// chunk-pool I/O happens, so it must not count as a flush.
 	existedBefore, _ := gw.Exists(p, s.chunk, newID)
 	if entry.ChunkID != newID {
 		if err := gw.MutateWithPayload(p, s.chunk, newID, len(data), putRefFn(data, ref)); err != nil {
 			return false, err
 		}
+		if existedBefore {
+			e.stats.DupChunks++
+			e.reg().Counter("dedup_dup_chunks_total").Inc()
+		}
+		e.stats.ChunksFlushed++
+		e.stats.BytesFlushed += int64(len(data))
+		e.reg().Counter("dedup_chunks_flushed_total").Inc()
+		e.reg().Counter("dedup_bytes_flushed_total").Add(int64(len(data)))
+	} else {
+		e.stats.NoopFlushes++
+		e.reg().Counter("dedup_noop_flushes_total").Inc()
 	}
-	if existedBefore {
-		e.stats.DupChunks++
-	}
-	e.stats.ChunksFlushed++
-	e.stats.BytesFlushed += int64(len(data))
 	if e.hookAfterChunkPut != nil && e.hookAfterChunkPut(oid, entry) {
 		return false, errCrash
 	}

@@ -49,6 +49,17 @@ func parseRefKey(key string) (Ref, bool) {
 // the chunk's PG lock before deleting.
 func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 	var stats GCStats
+	reg := s.cluster.Metrics()
+	defer func() {
+		reg.Counter("dedup_gc_passes_total").Inc()
+		reg.Counter("dedup_gc_chunks_scanned_total").Add(stats.ChunksScanned)
+		reg.Counter("dedup_gc_refs_checked_total").Add(stats.RefsChecked)
+		reg.Counter("dedup_gc_stale_refs_total").Add(stats.StaleRefs)
+		reg.Counter("dedup_gc_chunks_deleted_total").Add(stats.ChunksDeleted)
+		reg.Counter("dedup_gc_bytes_reclaimed_total").Add(stats.BytesReclaimed)
+	}()
+	sp := s.cluster.Trace().Start(p, "dedup.gc")
+	defer sp.Finish(p)
 	gw := s.hostGW(anyHost(s))
 	for _, chunkOID := range s.cluster.ListObjects(s.chunk) {
 		stats.ChunksScanned++

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dedupstore/internal/sim"
+)
+
+// TestPaceEarlyRunThrottles is the regression test for the first-second
+// measurement bug: with foreground load far above the high watermark only
+// 200ms into the run, pace must grant one dedup I/O per
+// OpsPerDedupAboveHigh foreground ops. The old full-window average divided
+// those ops by a second that had not elapsed, under-reported the rate, and
+// left the controller in the mid (or unthrottled) band.
+func TestPaceEarlyRunThrottles(t *testing.T) {
+	e := newDedupEnv(t, func(cfg *Config) { cfg.Rate = DefaultRate() })
+	e.run(t, func(p *sim.Proc) {
+		p.Sleep(200 * time.Millisecond)
+		fg := e.c.ForegroundOps()
+		for i := 0; i < 2000; i++ {
+			fg.Note(4096)
+		}
+		// 2000 ops in 0.2s = 10000 IOPS, far above HighIOPS (4000). The
+		// buggy estimate was 2000/1s = 2000, the mid band.
+		if iops := fg.RecentIOPS(); iops <= e.s.cfg.Rate.HighIOPS {
+			t.Fatalf("RecentIOPS = %v, want > high watermark %v", iops, e.s.cfg.Rate.HighIOPS)
+		}
+		eng := e.s.Engine()
+		eng.pace(p)
+		fgOps, _ := fg.Totals()
+		gap := eng.nextAllowedAtFgOps - fgOps
+		if gap != e.s.cfg.Rate.OpsPerDedupAboveHigh {
+			t.Errorf("pace gap = %d foreground ops, want %d (above-high band)",
+				gap, e.s.cfg.Rate.OpsPerDedupAboveHigh)
+		}
+	})
+}
+
+// TestNoopFlushAccounting verifies that re-flushing a slot whose content
+// still matches its chunk performs no chunk-pool I/O and is counted as a
+// noop, not a flush.
+func TestNoopFlushAccounting(t *testing.T) {
+	e := newDedupEnv(t, nil)
+	data := make([]byte, 2*4096)
+	for i := range data {
+		data[i] = byte(i/256 + i)
+	}
+	e.run(t, func(p *sim.Proc) {
+		if err := e.cl.Write(p, "obj", 0, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	e.drain(t)
+	st := e.s.Engine().Stats()
+	if st.ChunksFlushed != 2 || st.NoopFlushes != 0 {
+		t.Fatalf("first drain: flushed=%d noop=%d, want 2/0", st.ChunksFlushed, st.NoopFlushes)
+	}
+
+	// Rewrite identical content: the slots go dirty again but fingerprint to
+	// the chunks they already reference.
+	e.run(t, func(p *sim.Proc) {
+		if err := e.cl.Write(p, "obj", 0, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	e.drain(t)
+	st = e.s.Engine().Stats()
+	if st.ChunksFlushed != 2 {
+		t.Errorf("identical rewrite counted as flush: flushed=%d, want still 2", st.ChunksFlushed)
+	}
+	if st.NoopFlushes != 2 {
+		t.Errorf("noop flushes = %d, want 2", st.NoopFlushes)
+	}
+	if reg := e.c.Metrics(); reg.Counter("dedup_noop_flushes_total").Value() != st.NoopFlushes {
+		t.Error("registry noop counter disagrees with engine stats")
+	}
+	e.checkIntegrity(t)
+}

@@ -34,6 +34,15 @@ func (r ScrubReport) Clean() bool { return len(r.Issues) == 0 }
 // to reclaim stale references.
 func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 	var rep ScrubReport
+	reg := s.cluster.Metrics()
+	defer func() {
+		reg.Counter("dedup_scrub_passes_total").Inc()
+		reg.Counter("dedup_scrub_chunks_total").Add(int64(rep.ChunkObjects))
+		reg.Counter("dedup_scrub_bytes_verified_total").Add(rep.BytesVerified)
+		reg.Counter("dedup_scrub_issues_total").Add(int64(len(rep.Issues)))
+	}()
+	sp := s.cluster.Trace().Start(p, "dedup.scrub")
+	defer sp.Finish(p)
 	gw := s.hostGW(anyHost(s))
 
 	// 1. Chunk objects: content must hash to the object ID (the double-

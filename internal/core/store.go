@@ -7,6 +7,7 @@ import (
 
 	"dedupstore/internal/chunker"
 	"dedupstore/internal/hitset"
+	"dedupstore/internal/metrics"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
@@ -175,6 +176,7 @@ func Open(cluster *rados.Cluster, cfg Config) (*Store, error) {
 		hostGWs:  make(map[string]*rados.Gateway),
 		objLocks: make(map[string]*sim.Resource),
 	}
+	s.cache.AttachRegistry(cluster.Metrics())
 	s.engine = newEngine(s)
 	return s, nil
 }
@@ -258,6 +260,27 @@ func (s *Store) Client(name string) *Client {
 	return &Client{s: s, gw: s.cluster.NewGateway(name)}
 }
 
+// Trace returns the cluster trace sink this client's operations record into.
+func (cl *Client) Trace() *metrics.TraceSink { return cl.s.cluster.Trace() }
+
+// startOp opens a dedup-level trace span (the outermost span of a client
+// op; the rados ops it issues nest under it).
+func (cl *Client) startOp(p *sim.Proc, kind string, bytes int) *metrics.Span {
+	return cl.s.cluster.Trace().Start(p, kind).SetOp(cl.s.cfg.MetaPoolName, "", int64(bytes))
+}
+
+// finishOp closes the span and records the op latency in the registry.
+func (cl *Client) finishOp(p *sim.Proc, sp *metrics.Span, err error) {
+	if sp == nil {
+		return
+	}
+	sp.Err = err != nil
+	sp.Finish(p)
+	reg := cl.s.cluster.Metrics()
+	reg.Counter("dedup_op_total:" + sp.Name).Inc()
+	reg.Histogram("dedup_op_latency:" + sp.Name).Add(sp.Duration())
+}
+
 // --- Write path (§4.5) -------------------------------------------------------
 
 // Write stores data at offset off in object oid. In post-processing mode
@@ -265,6 +288,13 @@ func (s *Store) Client(name string) *Client {
 // chunk-map entries cached+dirty, and log the object in the dirty list; no
 // fingerprinting happens on this path.
 func (cl *Client) Write(p *sim.Proc, oid string, off int64, data []byte) error {
+	sp := cl.startOp(p, "dedup.write", len(data))
+	err := cl.write(p, oid, off, data)
+	cl.finishOp(p, sp, err)
+	return err
+}
+
+func (cl *Client) write(p *sim.Proc, oid string, off int64, data []byte) error {
 	s := cl.s
 	if len(data) == 0 {
 		return nil
@@ -352,6 +382,16 @@ func (cl *Client) Write(p *sim.Proc, oid string, off int64, data []byte) error {
 // chunks are proxied through the metadata primary to the chunk pool
 // (step 4b — the redirection whose cost Fig. 10/11 quantify).
 func (cl *Client) Read(p *sim.Proc, oid string, off, length int64) ([]byte, error) {
+	sp := cl.startOp(p, "dedup.read", 0)
+	out, err := cl.read(p, oid, off, length)
+	if sp != nil {
+		sp.Bytes = int64(len(out))
+	}
+	cl.finishOp(p, sp, err)
+	return out, err
+}
+
+func (cl *Client) read(p *sim.Proc, oid string, off, length int64) ([]byte, error) {
 	s := cl.s
 	s.cache.RecordAccess(p.Now(), oid)
 	// The chunk-map lookup happens at the metadata primary as part of
@@ -440,6 +480,13 @@ func (cl *Client) Stat(p *sim.Proc, oid string) (int64, error) {
 
 // Delete removes the object, de-referencing every chunk it points to.
 func (cl *Client) Delete(p *sim.Proc, oid string) error {
+	sp := cl.startOp(p, "dedup.delete", 0)
+	err := cl.delete(p, oid)
+	cl.finishOp(p, sp, err)
+	return err
+}
+
+func (cl *Client) delete(p *sim.Proc, oid string) error {
 	s := cl.s
 	raw, err := cl.gw.GetXattr(p, s.meta, oid, XattrChunkMap)
 	if err != nil {

@@ -9,11 +9,14 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dedupstore/internal/client"
 	"dedupstore/internal/core"
+	"dedupstore/internal/metrics"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/simcost"
@@ -64,9 +67,53 @@ type harness struct {
 	c   *rados.Cluster
 }
 
+// liveSinks accumulates the trace sink of every harness built since the
+// last TraceReport call, so the CLI can print per-experiment slow spans.
+var (
+	sinkMu    sync.Mutex
+	liveSinks []*metrics.TraceSink
+)
+
 func newHarness(seed int64, hosts, osdsPerHost int, opts ...rados.Option) *harness {
 	eng := sim.New(seed)
-	return &harness{eng: eng, c: rados.NewTestbed(eng, simcost.Default(), hosts, osdsPerHost, opts...)}
+	c := rados.NewTestbed(eng, simcost.Default(), hosts, osdsPerHost, opts...)
+	sinkMu.Lock()
+	liveSinks = append(liveSinks, c.Trace())
+	sinkMu.Unlock()
+	return &harness{eng: eng, c: c}
+}
+
+// TraceReport merges the spans recorded by every harness built since the
+// previous call and renders the n slowest, queue-wait vs. service time
+// broken out per resource. The harness list is reset so successive
+// experiments report independently.
+func TraceReport(n int) string {
+	sinkMu.Lock()
+	sinks := liveSinks
+	liveSinks = nil
+	sinkMu.Unlock()
+	if n <= 0 {
+		return ""
+	}
+	var all []metrics.Span
+	var total int64
+	for _, s := range sinks {
+		all = append(all, s.Slowest(n)...)
+		total += s.Total()
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Duration() > all[j].Duration() })
+	if len(all) > n {
+		all = all[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "slowest %d of %d spans (queue-wait vs service):\n", len(all), total)
+	for i := range all {
+		fmt.Fprintf(&b, "  %s\n", all[i].String())
+	}
+	return b.String()
 }
 
 // run executes fn as a sim process to completion.
@@ -101,6 +148,7 @@ func (h *harness) rawDevice(name string, size, objectSize int64, red rados.Redun
 	if err != nil {
 		panic(err)
 	}
+	dev.SetTrace(h.c.Trace())
 	return dev
 }
 
@@ -123,6 +171,7 @@ func (h *harness) dedupDevice(name string, size int64, s *core.Store) *client.Bl
 	if err != nil {
 		panic(err)
 	}
+	dev.SetTrace(h.c.Trace())
 	return dev
 }
 

@@ -1,68 +1,199 @@
-// Package metrics collects the measurements the paper reports: latency
-// distributions (Figs. 10–12), per-second throughput timelines (Figs. 5b,
-// 14), IOPS, and storage footprints. All timestamps are virtual (sim.Time).
+// Package metrics is the repository's observability substrate: the central
+// Registry of named counters, gauges and log-bucketed histograms, per-op
+// trace spans (trace.go) with a ring-buffered sink, FIFO-resource queue
+// statistics (resource.go), and the measurement helpers the paper reports
+// through: latency distributions (Figs. 10–12), per-second throughput
+// timelines (Figs. 5b, 14), IOPS, and storage footprints. All timestamps are
+// virtual (sim.Time).
 package metrics
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"math/bits"
+	"sync"
 	"time"
 
 	"dedupstore/internal/sim"
 )
 
-// Histogram records latency samples and reports summary statistics.
+// Histogram records latency samples into logarithmically spaced buckets and
+// reports summary statistics. Instead of retaining every raw sample, each
+// power-of-two range is split into 64 linear sub-buckets (HDR-histogram
+// style), bounding the relative error of any reported quantile to under 0.8%
+// while keeping memory constant. Count, Sum (hence Mean), Min and Max are
+// tracked exactly. Histogram is safe for concurrent use.
 type Histogram struct {
-	samples []time.Duration
+	mu      sync.Mutex
+	count   int64
 	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets []int64
+}
+
+// Sub-bucket geometry: values below subCount get an exact bucket each;
+// values in [2^e, 2^(e+1)) are split into subCount linear sub-buckets of
+// width 2^(e-subLog).
+const (
+	subLog   = 6
+	subCount = 1 << subLog
+)
+
+// bucketIdx maps a non-negative sample (in ns) to its bucket index. The
+// mapping is continuous: idx 0..63 are exact 1ns buckets, each subsequent
+// run of 64 indexes covers one power-of-two range.
+func bucketIdx(d int64) int {
+	if d < subCount {
+		return int(d)
+	}
+	e := bits.Len64(uint64(d)) - 1 // e >= subLog
+	sub := int(d >> uint(e-subLog))
+	return (e-subLog)*subCount + sub
+}
+
+// bucketMid returns the representative value (midpoint) of bucket idx — the
+// value reported for any quantile that lands in the bucket.
+func bucketMid(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	q := idx >> subLog
+	e := subLog + q - 1
+	width := int64(1) << uint(e-subLog)
+	lower := int64(idx-(q-1)*subCount) << uint(e-subLog)
+	return lower + width/2
+}
+
+// bucketUpper returns the exclusive upper bound of bucket idx.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx) + 1
+	}
+	q := idx >> subLog
+	e := subLog + q - 1
+	width := int64(1) << uint(e-subLog)
+	lower := int64(idx-(q-1)*subCount) << uint(e-subLog)
+	return lower + width
 }
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram { return &Histogram{} }
 
-// Add records one latency sample.
+// Add records one latency sample. Negative samples clamp to zero.
 func (h *Histogram) Add(d time.Duration) {
-	h.samples = append(h.samples, d)
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := bucketIdx(int64(d))
+	if idx >= len(h.buckets) {
+		grown := make([]int64, idx+1)
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	h.buckets[idx]++
+	h.count++
 	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
-
-// Mean returns the average latency.
-func (h *Histogram) Mean() time.Duration {
-	if len(h.samples) == 0 {
-		return 0
-	}
-	return h.sum / time.Duration(len(h.samples))
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int(h.count)
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100).
-func (h *Histogram) Percentile(p float64) time.Duration {
-	if len(h.samples) == 0 {
+// Sum returns the exact sum of all samples.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average latency (exact: tracked as sum/count, not from
+// buckets).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), h.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p/100*float64(len(sorted))) - 1
-	if idx < 0 {
-		idx = 0
+	return h.sum / time.Duration(h.count)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using ceil-based
+// nearest-rank: the value whose rank is ceil(p/100 * n). The result carries
+// the bucket's representative value, within 0.8% of the true sample, clamped
+// to the exact observed [min, max].
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
 	}
-	return sorted[idx]
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for idx, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			v := time.Duration(bucketMid(idx))
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
 }
 
 // Max returns the largest sample.
 func (h *Histogram) Max() time.Duration {
-	var m time.Duration
-	for _, s := range h.samples {
-		if s > m {
-			m = s
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Bucket is one non-empty histogram bucket: Count samples at most Le.
+type Bucket struct {
+	Le    time.Duration // inclusive upper bound of the bucket
+	Count int64         // samples in this bucket (not cumulative)
+}
+
+// Buckets returns the non-empty buckets in ascending order.
+func (h *Histogram) Buckets() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Bucket, 0, 16)
+	for idx, c := range h.buckets {
+		if c > 0 {
+			out = append(out, Bucket{Le: time.Duration(bucketUpper(idx) - 1), Count: c})
 		}
 	}
-	return m
+	return out
 }
 
 // String summarizes the distribution.

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"dedupstore/internal/sim"
+)
+
+func TestResourceMonitor(t *testing.T) {
+	e := sim.New(1)
+	disk := sim.NewResource("disk", 1)
+	mon := NewResourceMonitor()
+	mon.Watch(disk)
+	for i := 0; i < 3; i++ {
+		e.Go("user", func(p *sim.Proc) {
+			disk.Use(p, 10*time.Millisecond)
+		})
+	}
+	e.Run()
+	end := sim.Time(30 * time.Millisecond)
+	st := mon.Stat("disk")
+	if st == nil {
+		t.Fatal("watched resource not tracked")
+	}
+	if got := st.MaxQueue(); got != 2 {
+		t.Errorf("max queue = %d, want 2", got)
+	}
+	// The single slot was busy the whole 30ms.
+	if got := st.Utilization(end); got < 0.999 || got > 1.001 {
+		t.Errorf("utilization = %v, want 1.0", got)
+	}
+	rows := mon.Snapshot(end)
+	if len(rows) != 1 || rows[0].Name != "disk" || rows[0].Capacity != 1 {
+		t.Fatalf("snapshot = %+v", rows)
+	}
+	if out := FormatUsage(rows); out == "" {
+		t.Fatal("FormatUsage empty")
+	}
+	// Watching the same resource twice returns the same stat.
+	if mon.Watch(disk) != st {
+		t.Error("duplicate Watch created a second stat")
+	}
+}

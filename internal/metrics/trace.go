@@ -1,0 +1,286 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dedupstore/internal/sim"
+)
+
+// ResourceSpan is one FIFO resource's contribution to a span: how long the
+// operation queued for a slot and how long the slot served it.
+type ResourceSpan struct {
+	Resource string
+	Wait     time.Duration // queued behind other holders
+	Hold     time.Duration // service time inside Resource.Use
+}
+
+// Span is one traced operation: virtual start/end time, identity (op kind,
+// pool, placement group, payload bytes) and the queue-wait vs. service-time
+// breakdown across every sim FIFO resource the op touched. A span attaches
+// to the executing sim.Proc as its Tracer, so resource waits — including
+// those of child processes (replica writers, parallel chunk reads) — accrue
+// automatically; nested Start calls record the parent span's ID.
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Name   string // op kind, e.g. "rados.write"
+	Pool   string
+	PG     string
+	Bytes  int64
+	Start  sim.Time
+	End    sim.Time
+	Err    bool
+
+	Resources []ResourceSpan
+
+	sink *TraceSink
+	prev sim.Tracer
+}
+
+// Duration is the span's total virtual time.
+func (sp *Span) Duration() time.Duration { return (sp.End - sp.Start).Duration() }
+
+// QueueWait is the summed queue wait across all resources.
+func (sp *Span) QueueWait() time.Duration {
+	var d time.Duration
+	for _, r := range sp.Resources {
+		d += r.Wait
+	}
+	return d
+}
+
+// Service is the summed resource service (hold) time.
+func (sp *Span) Service() time.Duration {
+	var d time.Duration
+	for _, r := range sp.Resources {
+		d += r.Hold
+	}
+	return d
+}
+
+func (sp *Span) resource(name string) *ResourceSpan {
+	for i := range sp.Resources {
+		if sp.Resources[i].Resource == name {
+			return &sp.Resources[i]
+		}
+	}
+	sp.Resources = append(sp.Resources, ResourceSpan{Resource: name})
+	return &sp.Resources[len(sp.Resources)-1]
+}
+
+// ResourceWait implements sim.Tracer.
+func (sp *Span) ResourceWait(resource string, start, end sim.Time) {
+	if sp == nil || end <= start {
+		return
+	}
+	sp.resource(resource).Wait += (end - start).Duration()
+}
+
+// ResourceHold implements sim.Tracer.
+func (sp *Span) ResourceHold(resource string, start, end sim.Time) {
+	if sp == nil || end <= start {
+		return
+	}
+	sp.resource(resource).Hold += (end - start).Duration()
+}
+
+// SetOp fills in the span's operation identity. Nil-safe.
+func (sp *Span) SetOp(pool, pg string, bytes int64) *Span {
+	if sp != nil {
+		sp.Pool, sp.PG, sp.Bytes = pool, pg, bytes
+	}
+	return sp
+}
+
+// Finish closes the span at the process's current virtual time, restores the
+// parent tracer, and records the span in the sink. Must be called on the
+// same process that Started it. Nil-safe.
+func (sp *Span) Finish(p *sim.Proc) {
+	if sp == nil {
+		return
+	}
+	sp.End = p.Now()
+	p.SetTracer(sp.prev)
+	// Fold this span's resource breakdown into the enclosing span, so a
+	// parent op (e.g. a replicated write) reports the queue-wait and service
+	// time of its nested phases too.
+	if parent, ok := sp.prev.(*Span); ok && parent != nil {
+		for _, r := range sp.Resources {
+			pr := parent.resource(r.Resource)
+			pr.Wait += r.Wait
+			pr.Hold += r.Hold
+		}
+	}
+	sp.sink.record(sp)
+}
+
+// String renders one span with its wait-vs-service breakdown.
+func (sp *Span) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12v %-16s", sp.Duration(), sp.Name)
+	if sp.Pool != "" {
+		fmt.Fprintf(&b, " pool=%s", sp.Pool)
+	}
+	if sp.PG != "" {
+		fmt.Fprintf(&b, " pg=%s", sp.PG)
+	}
+	if sp.Bytes > 0 {
+		fmt.Fprintf(&b, " bytes=%d", sp.Bytes)
+	}
+	fmt.Fprintf(&b, " wait=%v service=%v", sp.QueueWait(), sp.Service())
+	if len(sp.Resources) > 0 {
+		rs := append([]ResourceSpan(nil), sp.Resources...)
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Wait+rs[i].Hold > rs[j].Wait+rs[j].Hold })
+		if len(rs) > 4 {
+			rs = rs[:4]
+		}
+		b.WriteString(" [")
+		for i, r := range rs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s w=%v h=%v", r.Resource, r.Wait, r.Hold)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// TraceSink collects finished spans: a fixed-capacity ring of the most
+// recent spans plus a bounded leaderboard of the slowest spans ever
+// recorded, so post-run analysis sees both the tail and the recent shape
+// without unbounded memory. Safe for concurrent use and on a nil receiver
+// (tracing disabled: Start returns nil and all Span methods no-op).
+type TraceSink struct {
+	mu      sync.Mutex
+	ring    []Span
+	pos     int
+	total   int64
+	nextID  uint64
+	slowCap int
+	slow    []Span // sorted ascending by duration
+}
+
+// DefaultSlowest is the leaderboard size kept by NewTraceSink.
+const DefaultSlowest = 64
+
+// NewTraceSink returns a sink retaining the ringCap most recent spans
+// (minimum 16) and the DefaultSlowest slowest.
+func NewTraceSink(ringCap int) *TraceSink {
+	if ringCap < 16 {
+		ringCap = 16
+	}
+	return &TraceSink{ring: make([]Span, 0, ringCap), slowCap: DefaultSlowest}
+}
+
+// Start opens a span named name at the process's current virtual time and
+// installs it as the process tracer. If the process is already inside a
+// span, the new span records it as parent. Returns nil (a no-op span) on a
+// nil sink.
+func (t *TraceSink) Start(p *sim.Proc, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	sp := &Span{ID: id, Name: name, Start: p.Now(), sink: t}
+	if parent, ok := p.Tracer().(*Span); ok && parent != nil {
+		sp.Parent = parent.ID
+	}
+	sp.prev = p.SetTracer(sp)
+	return sp
+}
+
+func (t *TraceSink) record(sp *Span) {
+	if t == nil {
+		return
+	}
+	rec := *sp
+	rec.Resources = append([]ResourceSpan(nil), sp.Resources...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.pos] = rec
+		t.pos = (t.pos + 1) % len(t.ring)
+	}
+	// Leaderboard insert (ascending by duration, bounded).
+	d := rec.Duration()
+	if len(t.slow) == t.slowCap && d <= t.slow[0].Duration() {
+		return
+	}
+	i := sort.Search(len(t.slow), func(i int) bool { return t.slow[i].Duration() >= d })
+	t.slow = append(t.slow, Span{})
+	copy(t.slow[i+1:], t.slow[i:])
+	t.slow[i] = rec
+	if len(t.slow) > t.slowCap {
+		t.slow = t.slow[1:]
+	}
+}
+
+// Total reports how many spans have been recorded over the sink's lifetime.
+func (t *TraceSink) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns up to n of the most recently recorded spans, newest last.
+func (t *TraceSink) Recent(n int) []Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := len(t.ring)
+	if n > size {
+		n = size
+	}
+	out := make([]Span, 0, n)
+	for i := size - n; i < size; i++ {
+		out = append(out, t.ring[(t.pos+i)%size])
+	}
+	return out
+}
+
+// Slowest returns up to n of the slowest spans recorded, slowest first.
+func (t *TraceSink) Slowest(n int) []Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > len(t.slow) {
+		n = len(t.slow)
+	}
+	out := make([]Span, 0, n)
+	for i := len(t.slow) - 1; i >= len(t.slow)-n; i-- {
+		out = append(out, t.slow[i])
+	}
+	return out
+}
+
+// Report renders the slowest n spans, one per line.
+func (t *TraceSink) Report(n int) string {
+	spans := t.Slowest(n)
+	if len(spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "slowest %d of %d spans (queue-wait vs service):\n", len(spans), t.Total())
+	for _, sp := range spans {
+		fmt.Fprintf(&b, "  %s\n", sp.String())
+	}
+	return b.String()
+}

@@ -13,6 +13,7 @@ import (
 
 	"dedupstore/internal/crush"
 	"dedupstore/internal/ec"
+	"dedupstore/internal/metrics"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/simcost"
 	"dedupstore/internal/store"
@@ -144,6 +145,12 @@ type Cluster struct {
 	// Stats counters.
 	fgOps     *OpCounter
 	recovered int64 // bytes moved by recovery
+
+	// Observability: cluster-wide metric registry, per-op trace sink, and
+	// queue-depth/utilization monitor over every FIFO resource.
+	reg  *metrics.Registry
+	sink *metrics.TraceSink
+	rmon *metrics.ResourceMonitor
 }
 
 // Option configures a Cluster.
@@ -168,6 +175,9 @@ func New(eng *sim.Engine, cost simcost.Params, opts ...Option) *Cluster {
 		poolsByID: make(map[uint64]*Pool),
 		pgLocks:   make(map[string]*sim.Resource),
 		fgOps:     NewOpCounter(eng),
+		reg:       metrics.NewRegistry(),
+		sink:      metrics.NewTraceSink(4096),
+		rmon:      metrics.NewResourceMonitor(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -192,11 +202,14 @@ func (c *Cluster) AddHost(name string, cores int) {
 	if cores < 1 {
 		cores = 1
 	}
-	c.hosts[name] = &host{
+	h := &host{
 		name: name,
 		nic:  sim.NewResource("nic."+name, 1),
 		cpu:  sim.NewResource("cpu."+name, cores),
 	}
+	c.rmon.Watch(h.nic)
+	c.rmon.Watch(h.cpu)
+	c.hosts[name] = h
 }
 
 // AddOSD registers an SSD-class OSD on a host (host must exist).
@@ -217,13 +230,15 @@ func (c *Cluster) AddOSDClass(id int, hostName string, weight float64, class str
 	if err := c.cmap.AddOSDClass(id, hostName, weight, class); err != nil {
 		return err
 	}
-	c.osds[id] = &osd{
+	o := &osd{
 		id:    id,
 		host:  h,
 		store: store.New(c.storeOpts...),
 		disk:  sim.NewResource(fmt.Sprintf("disk.osd%d", id), c.diskShards()),
 		slow:  slowFactor,
 	}
+	c.rmon.Watch(o.disk)
+	c.osds[id] = o
 	return nil
 }
 
@@ -330,6 +345,35 @@ func (c *Cluster) pgLock(pg crush.PG) *sim.Resource {
 // ForegroundOps returns the counter of client-issued operations, the signal
 // the dedup rate controller watches (§4.4.2).
 func (c *Cluster) ForegroundOps() *OpCounter { return c.fgOps }
+
+// Metrics returns the cluster-wide metric registry. Every layer (gateways,
+// the dedup engine, the cache agent, recovery) registers its instruments
+// here.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// Trace returns the cluster's span sink. All gateway ops record spans into
+// it; nil is never returned.
+func (c *Cluster) Trace() *metrics.TraceSink { return c.sink }
+
+// Resources returns the monitor holding queue-depth/utilization timelines
+// for every host NIC, host CPU pool and OSD disk.
+func (c *Cluster) Resources() *metrics.ResourceMonitor { return c.rmon }
+
+// DumpMetrics publishes the current resource utilization into the registry
+// and renders everything as Prometheus exposition text.
+func (c *Cluster) DumpMetrics() string {
+	now := c.eng.Now()
+	for _, u := range c.rmon.Snapshot(now) {
+		base := "sim_resource_" + u.Name
+		c.reg.Gauge(base + "_queue_max").Set(int64(u.MaxQueue))
+		c.reg.Gauge(base + "_util_ppm").Set(int64(u.Utilization * 1e6))
+	}
+	ops, bytes := c.fgOps.Totals()
+	c.reg.Counter("rados_foreground_ops_total").Add(ops - c.reg.Counter("rados_foreground_ops_total").Value())
+	c.reg.Counter("rados_foreground_bytes_total").Add(bytes - c.reg.Counter("rados_foreground_bytes_total").Value())
+	c.reg.Counter("rados_recovered_bytes_total").Add(c.recovered - c.reg.Counter("rados_recovered_bytes_total").Value())
+	return c.reg.Dump()
+}
 
 // RecoveredBytes reports total bytes moved by recovery/rebalance so far.
 func (c *Cluster) RecoveredBytes() int64 { return c.recovered }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dedupstore/internal/crush"
+	"dedupstore/internal/metrics"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
 )
@@ -23,7 +24,9 @@ type Gateway struct {
 // NewGateway creates a client gateway with its own 10GbE link. Its
 // operations count as foreground I/O.
 func (c *Cluster) NewGateway(name string) *Gateway {
-	return &Gateway{c: c, name: name, nic: sim.NewResource("nic."+name, 1), foreground: true}
+	g := &Gateway{c: c, name: name, nic: sim.NewResource("nic."+name, 1), foreground: true}
+	c.rmon.Watch(g.nic)
+	return g
 }
 
 // HostGateway creates an internal gateway that shares an existing host's
@@ -40,6 +43,29 @@ func (c *Cluster) HostGateway(hostName string) (*Gateway, error) {
 func (g *Gateway) noteOp(bytes int) {
 	if g.foreground {
 		g.c.fgOps.Note(bytes)
+	}
+}
+
+// startOp opens a trace span for a gateway operation, tagged with pool, PG
+// and payload size. Tracing observes only — it adds no virtual time.
+func (g *Gateway) startOp(p *sim.Proc, kind string, pool *Pool, oid string, bytes int) *metrics.Span {
+	sp := g.c.sink.Start(p, kind)
+	return sp.SetOp(pool.Name, g.c.PGOf(pool, oid).String(), int64(bytes))
+}
+
+// finishOp closes the span and records the op's latency and outcome in the
+// cluster registry.
+func (g *Gateway) finishOp(p *sim.Proc, sp *metrics.Span, err error) {
+	if sp == nil {
+		return
+	}
+	sp.Err = err != nil
+	sp.Finish(p)
+	reg := g.c.reg
+	reg.Counter("rados_op_total:" + sp.Name).Inc()
+	reg.Histogram("rados_op_latency:" + sp.Name).Add(sp.Duration())
+	if err != nil {
+		reg.Counter("rados_op_errors_total:" + sp.Name).Inc()
 	}
 }
 
@@ -89,39 +115,61 @@ func (v replView) OmapList(max int) ([]string, error)     { return v.st.OmapList
 // Write writes data at offset off (replicated pools write in place; EC
 // pools perform a read-modify-write of the full object).
 func (g *Gateway) Write(p *sim.Proc, pool *Pool, oid string, off int64, data []byte) error {
+	sp := g.startOp(p, "rados.write", pool, oid, len(data))
+	var err error
 	if pool.Red.Kind == Erasure {
-		return g.ecWrite(p, pool, oid, off, data)
+		err = g.ecWrite(p, pool, oid, off, data)
+	} else {
+		txn := store.NewTxn().Write(off, data)
+		err = g.applyTxn(p, pool, oid, txn, len(data))
+		g.noteOp(len(data))
 	}
-	txn := store.NewTxn().Write(off, data)
-	err := g.applyTxn(p, pool, oid, txn, len(data))
-	g.noteOp(len(data))
+	g.finishOp(p, sp, err)
 	return err
 }
 
 // WriteFull replaces the object's contents.
 func (g *Gateway) WriteFull(p *sim.Proc, pool *Pool, oid string, data []byte) error {
+	sp := g.startOp(p, "rados.writefull", pool, oid, len(data))
+	var err error
 	if pool.Red.Kind == Erasure {
-		return g.ecWriteFull(p, pool, oid, data)
+		err = g.ecWriteFull(p, pool, oid, data)
+	} else {
+		txn := store.NewTxn().WriteFull(data)
+		err = g.applyTxn(p, pool, oid, txn, len(data))
+		g.noteOp(len(data))
 	}
-	txn := store.NewTxn().WriteFull(data)
-	err := g.applyTxn(p, pool, oid, txn, len(data))
-	g.noteOp(len(data))
+	g.finishOp(p, sp, err)
 	return err
 }
 
 // Delete removes the object.
 func (g *Gateway) Delete(p *sim.Proc, pool *Pool, oid string) error {
+	sp := g.startOp(p, "rados.delete", pool, oid, 0)
+	var err error
 	if pool.Red.Kind == Erasure {
-		return g.ecDelete(p, pool, oid)
+		err = g.ecDelete(p, pool, oid)
+	} else {
+		err = g.applyTxn(p, pool, oid, store.NewTxn().Delete(), 0)
+		g.noteOp(0)
 	}
-	err := g.applyTxn(p, pool, oid, store.NewTxn().Delete(), 0)
-	g.noteOp(0)
+	g.finishOp(p, sp, err)
 	return err
 }
 
 // Read returns length bytes at off (length<0 reads to end). Reads are
 // served by the acting primary.
 func (g *Gateway) Read(p *sim.Proc, pool *Pool, oid string, off, length int64) ([]byte, error) {
+	sp := g.startOp(p, "rados.read", pool, oid, 0)
+	data, err := g.read(p, pool, oid, off, length)
+	if sp != nil {
+		sp.Bytes = int64(len(data))
+	}
+	g.finishOp(p, sp, err)
+	return data, err
+}
+
+func (g *Gateway) read(p *sim.Proc, pool *Pool, oid string, off, length int64) ([]byte, error) {
 	if pool.Red.Kind == Erasure {
 		return g.ecRead(p, pool, oid, off, length)
 	}
@@ -242,6 +290,13 @@ func (g *Gateway) Mutate(p *sim.Proc, pool *Pool, oid string, fn MutateFn) error
 // the payload is charged on the caller's outbound link and the primary's
 // inbound link. Replicas always receive the full resulting transaction.
 func (g *Gateway) MutateWithPayload(p *sim.Proc, pool *Pool, oid string, payload int, fn MutateFn) error {
+	sp := g.startOp(p, "rados.mutate", pool, oid, payload)
+	err := g.mutateWithPayload(p, pool, oid, payload, fn)
+	g.finishOp(p, sp, err)
+	return err
+}
+
+func (g *Gateway) mutateWithPayload(p *sim.Proc, pool *Pool, oid string, payload int, fn MutateFn) error {
 	if pool.Red.Kind == Erasure {
 		return g.ecMutate(p, pool, oid, payload, fn)
 	}
@@ -327,17 +382,21 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 	}
 	sigs := make([]*sim.Signal, 0, len(acting))
 	sigs = append(sigs, p.Go("journal", func(q *sim.Proc) {
+		jsp := g.c.sink.Start(q, "rados.journal").SetOp(pool.Name, pg.String(), int64(txn.Bytes()))
 		primary.diskWrite(q, cost, txn.Bytes())
+		jsp.Finish(q)
 	}))
 	for _, r := range acting[1:] {
 		r := r
 		sigs = append(sigs, p.Go("replica", func(q *sim.Proc) {
+			rsp := g.c.sink.Start(q, "rados.replica").SetOp(pool.Name, pg.String(), int64(payload))
 			g.c.netSend(q, r.host.nic, payload)
 			r.host.cpu.Use(q, cost.OpOverhead)
 			if err := r.store.Apply(key, txn); err != nil {
 				panic(fmt.Sprintf("rados: replica apply diverged: %v", err))
 			}
 			r.diskWrite(q, cost, txn.Bytes())
+			rsp.Finish(q)
 		}))
 	}
 	sim.WaitAll(p, sigs...)

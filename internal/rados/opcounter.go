@@ -71,7 +71,17 @@ func (oc *OpCounter) recent() (opsPerSec, bytesPerSec float64) {
 			bytes += b.bytes
 		}
 	}
+	// Average over the time actually covered: early in a run less than the
+	// full ring has elapsed, and dividing by the whole window would
+	// under-report the rate (leaving the §4.4.2 controller unthrottled for
+	// the first second). Floor at one bucket to keep the estimate stable.
 	window := float64(len(oc.buckets)) * oc.bucketLen.Seconds()
+	if elapsed := time.Duration(now).Seconds(); elapsed < window {
+		window = elapsed
+		if min := oc.bucketLen.Seconds(); window < min {
+			window = min
+		}
+	}
 	return float64(ops) / window, float64(bytes) / window
 }
 

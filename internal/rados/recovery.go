@@ -221,10 +221,18 @@ func (c *Cluster) Recover(p *sim.Proc, streamsPerOSD int) RecoveryStats {
 	runPhase(func(kind string) bool { return kind == "delete" })
 	stats.End = p.Now()
 	c.recovered += stats.BytesMoved
+	c.reg.Counter("rados_recovery_runs_total").Inc()
+	c.reg.Counter("rados_recovery_objects_copied_total").Add(int64(stats.ObjectsCopied))
+	c.reg.Counter("rados_recovery_objects_deleted_total").Add(int64(stats.ObjectsDeleted))
+	c.reg.Counter("rados_recovery_shards_rebuilt_total").Add(int64(stats.ShardsRebuilt))
+	c.reg.Counter("rados_recovery_bytes_moved_total").Add(stats.BytesMoved)
+	c.reg.Histogram("rados_recovery_duration").Add(stats.Duration().Duration())
 	return stats
 }
 
 func (c *Cluster) runRecoveryTask(q *sim.Proc, t recoveryTask, stats *RecoveryStats) {
+	sp := c.sink.Start(q, "recover."+t.kind).SetOp(t.pool.Name, c.PGOf(t.pool, t.key.OID).String(), 0)
+	defer sp.Finish(q)
 	cost := c.cost
 	switch t.kind {
 	case "delete":

@@ -119,6 +119,19 @@ func (e *Engine) After(d time.Duration, fn func()) {
 	e.schedule(e.now+Time(d), nil, fn)
 }
 
+// Tracer receives queue-wait and service-time reports from the FIFO
+// resources a process passes through. A tracer attached to a process is
+// inherited by child processes spawned with Go/GoAt, so a fan-out operation
+// (replicated write, parallel chunk flush) accumulates onto one trace span
+// unless a child installs its own.
+type Tracer interface {
+	// ResourceWait reports time spent queued for a resource slot.
+	ResourceWait(resource string, start, end Time)
+	// ResourceHold reports time spent holding a resource slot in Use (the
+	// station's service time).
+	ResourceHold(resource string, start, end Time)
+}
+
 // Proc is a simulated process. All waiting primitives take the Proc so that
 // the kernel can park and resume the right goroutine.
 type Proc struct {
@@ -127,7 +140,19 @@ type Proc struct {
 	resume chan struct{}
 	done   *Signal
 	daemon bool
+	tracer Tracer
 }
+
+// SetTracer installs (or with nil, removes) the process's tracer and returns
+// the previous one, so callers can scope a span and restore the parent.
+func (p *Proc) SetTracer(t Tracer) Tracer {
+	prev := p.tracer
+	p.tracer = t
+	return prev
+}
+
+// Tracer returns the process's current tracer (nil if none).
+func (p *Proc) Tracer() Tracer { return p.tracer }
 
 // Daemon reports whether this is a daemon process.
 func (p *Proc) Daemon() bool { return p.daemon }
@@ -166,6 +191,9 @@ func (e *Engine) GoAt(at Time, name string, fn func(p *Proc)) *Signal {
 
 func (e *Engine) goAt(at Time, name string, fn func(p *Proc), daemon bool) *Signal {
 	p := &Proc{e: e, name: name, resume: make(chan struct{}), done: NewSignal(), daemon: daemon}
+	if e.cur != nil {
+		p.tracer = e.cur.tracer // children report into the spawner's span
+	}
 	e.live++
 	if !daemon {
 		e.nonDaemonLive++
@@ -327,6 +355,27 @@ type Resource struct {
 	// Busy accounting for utilization reporting.
 	busy      time.Duration
 	lastStamp Time
+
+	observer ResourceObserver
+}
+
+// ResourceObserver is called after every occupancy or queue change, with the
+// virtual time of the change and the resource's new state. Observers must not
+// block; they exist so an observability layer can derive queue-depth and
+// utilization timelines without polling.
+type ResourceObserver func(now Time, queueLen, inUse int)
+
+// SetObserver installs fn as the resource's state-change observer (nil
+// removes it).
+func (r *Resource) SetObserver(fn ResourceObserver) { r.observer = fn }
+
+// Cap returns the resource's concurrency capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+func (r *Resource) observe(now Time) {
+	if r.observer != nil {
+		r.observer(now, len(r.waiters), r.inUse)
+	}
 }
 
 // NewResource returns a resource with the given concurrency cap.
@@ -359,16 +408,23 @@ func (r *Resource) BusyTime(now Time) time.Duration {
 	return r.busy
 }
 
-// Acquire blocks p until a slot is free, FIFO order.
+// Acquire blocks p until a slot is free, FIFO order. Time spent queued is
+// reported to the process's tracer.
 func (r *Resource) Acquire(p *Proc) {
 	if r.inUse < r.cap && len(r.waiters) == 0 {
 		r.stamp(p.Now())
 		r.inUse++
+		r.observe(p.Now())
 		return
 	}
+	start := p.Now()
 	r.waiters = append(r.waiters, p)
+	r.observe(start)
 	p.park()
 	// Slot was transferred to us by Release; accounting already updated.
+	if p.tracer != nil {
+		p.tracer.ResourceWait(r.name, start, p.Now())
+	}
 }
 
 // Release frees a slot and hands it to the first waiter, if any.
@@ -382,16 +438,23 @@ func (r *Resource) Release(p *Proc) {
 		r.waiters = r.waiters[1:]
 		// Slot stays in use, transferred to w.
 		p.e.schedule(p.Now(), w, nil)
+		r.observe(p.Now())
 		return
 	}
 	r.inUse--
+	r.observe(p.Now())
 }
 
 // Use acquires the resource, holds it for d of virtual time, and releases it.
-// This is the common "serve one request at a station" pattern.
+// This is the common "serve one request at a station" pattern. The hold time
+// is reported to the process's tracer as service time.
 func (r *Resource) Use(p *Proc, d time.Duration) {
 	r.Acquire(p)
+	start := p.Now()
 	p.Sleep(d)
+	if p.tracer != nil {
+		p.tracer.ResourceHold(r.name, start, p.Now())
+	}
 	r.Release(p)
 }
 

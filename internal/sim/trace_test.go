@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// recTracer accumulates per-resource wait and hold durations.
+type recTracer struct {
+	waits map[string]time.Duration
+	holds map[string]time.Duration
+}
+
+func newRecTracer() *recTracer {
+	return &recTracer{waits: map[string]time.Duration{}, holds: map[string]time.Duration{}}
+}
+
+func (t *recTracer) ResourceWait(r string, s, e Time) { t.waits[r] += (e - s).Duration() }
+func (t *recTracer) ResourceHold(r string, s, e Time) { t.holds[r] += (e - s).Duration() }
+
+func TestTracerWaitAndHold(t *testing.T) {
+	e := New(1)
+	disk := NewResource("disk", 1)
+	tr := newRecTracer()
+	e.Go("first", func(p *Proc) {
+		disk.Use(p, 50*time.Millisecond)
+	})
+	e.Go("second", func(p *Proc) {
+		p.SetTracer(tr)
+		disk.Use(p, 30*time.Millisecond)
+	})
+	if left := e.Run(); left != 0 {
+		t.Fatalf("leftover procs: %d", left)
+	}
+	if got := tr.waits["disk"]; got != 50*time.Millisecond {
+		t.Errorf("second proc queue wait = %v, want 50ms", got)
+	}
+	if got := tr.holds["disk"]; got != 30*time.Millisecond {
+		t.Errorf("second proc hold = %v, want 30ms", got)
+	}
+}
+
+func TestTracerInheritedByChildren(t *testing.T) {
+	e := New(1)
+	disk := NewResource("disk", 1)
+	tr := newRecTracer()
+	e.Go("parent", func(p *Proc) {
+		p.SetTracer(tr)
+		sig := p.Go("child", func(q *Proc) {
+			disk.Use(q, 20*time.Millisecond)
+		})
+		sig.Wait(p)
+	})
+	if left := e.Run(); left != 0 {
+		t.Fatalf("leftover procs: %d", left)
+	}
+	if got := tr.holds["disk"]; got != 20*time.Millisecond {
+		t.Errorf("child hold not attributed to parent tracer: got %v, want 20ms", got)
+	}
+}
+
+func TestResourceObserver(t *testing.T) {
+	e := New(1)
+	disk := NewResource("disk", 1)
+	type ev struct {
+		at    Time
+		queue int
+		inUse int
+	}
+	var events []ev
+	disk.SetObserver(func(now Time, queueLen, inUse int) {
+		events = append(events, ev{now, queueLen, inUse})
+	})
+	for i := 0; i < 3; i++ {
+		e.Go("user", func(p *Proc) {
+			disk.Use(p, 10*time.Millisecond)
+		})
+	}
+	if left := e.Run(); left != 0 {
+		t.Fatalf("leftover procs: %d", left)
+	}
+	if len(events) == 0 {
+		t.Fatal("observer saw no state changes")
+	}
+	maxQ := 0
+	for _, v := range events {
+		if v.queue > maxQ {
+			maxQ = v.queue
+		}
+		if v.inUse < 0 || v.inUse > 1 {
+			t.Errorf("inUse %d out of range for capacity 1", v.inUse)
+		}
+	}
+	if maxQ != 2 {
+		t.Errorf("max queue = %d, want 2 (three users, one slot)", maxQ)
+	}
+	last := events[len(events)-1]
+	if last.queue != 0 || last.inUse != 0 {
+		t.Errorf("final state queue=%d inUse=%d, want idle", last.queue, last.inUse)
+	}
+	if last.at != Time(30*time.Millisecond) {
+		t.Errorf("final event at %v, want 30ms", last.at)
+	}
+}

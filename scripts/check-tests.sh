@@ -1,0 +1,12 @@
+#!/bin/sh
+# Fails if any internal/ package has Go sources but no _test.go file.
+set -eu
+cd "$(dirname "$0")/.."
+missing=0
+for dir in $(find internal -type f -name '*.go' ! -name '*_test.go' | xargs -n1 dirname | sort -u); do
+	if ! ls "$dir"/*_test.go >/dev/null 2>&1; then
+		echo "check-tests: $dir has no _test.go" >&2
+		missing=1
+	fi
+done
+exit $missing
