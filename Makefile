@@ -14,7 +14,7 @@ test:
 
 # Concurrency-sensitive packages under the race detector.
 race:
-	go test -race ./internal/metrics ./internal/sim
+	go test -race ./internal/metrics ./internal/sim ./internal/rados ./internal/core ./internal/chaos
 
 # Every internal package must ship tests.
 check-tests:

@@ -66,6 +66,9 @@ func main() {
 		"fig14": func(sc experiments.Scale) []experiments.Table {
 			return []experiments.Table{experiments.Fig14Table(experiments.Fig14(sc))}
 		},
+		"chaos": func(sc experiments.Scale) []experiments.Table {
+			return experiments.ChaosTables(experiments.Chaos(sc))
+		},
 		"ablation": func(sc experiments.Scale) []experiments.Table {
 			return []experiments.Table{
 				experiments.AblationChunkingTable(experiments.AblationChunking(sc)),
@@ -76,7 +79,7 @@ func main() {
 			}
 		},
 	}
-	order := []string{"fig3", "table1", "fig5a", "fig5b", "fig10", "fig11", "table2", "fig12", "table3", "fig13", "fig14", "ablation"}
+	order := []string{"fig3", "table1", "fig5a", "fig5b", "fig10", "fig11", "table2", "fig12", "table3", "fig13", "fig14", "chaos", "ablation"}
 
 	if *list {
 		fmt.Println(strings.Join(order, " "))

@@ -8,7 +8,7 @@
 //
 //	dedupctl [flags] <action>...
 //
-// Actions: status df metrics scrub corrupt repair gc evict verify
+// Actions: status df metrics scrub corrupt repair gc evict verify chaos
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dedupstore"
+	"dedupstore/internal/chaos"
 	"dedupstore/internal/chunker"
 	"dedupstore/internal/store"
 	"dedupstore/internal/workload"
@@ -41,7 +42,7 @@ func main() {
 		traceIn  = flag.String("trace", "", "replay this block trace instead of synthetic fill")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics scrub corrupt repair gc evict verify\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics scrub corrupt repair gc evict verify chaos\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -94,6 +95,8 @@ func main() {
 			c.evict()
 		case "verify":
 			c.verify()
+		case "chaos":
+			c.chaos(*seed)
 		default:
 			log.Fatalf("dedupctl: unknown action %q", action)
 		}
@@ -225,6 +228,49 @@ func (c *ctl) evict() {
 		fmt.Printf("evict: %d objects scanned, %d chunks (%.2f MB) demoted, %d still hot\n",
 			stats.ObjectsScanned, stats.ChunksEvicted, float64(stats.BytesEvicted)/1e6, stats.SkippedHot)
 	})
+}
+
+// chaos crashes one OSD under the loaded store, lets the heartbeat monitor
+// detect it, remap and recover, restarts it, and prints the availability
+// timeline an operator would reconstruct from cluster logs. Deterministic
+// for a given -seed; follow with `verify gc` to audit the aftermath.
+func (c *ctl) chaos(seed int64) {
+	mon := c.world.Cluster.StartMonitor(dedupstore.MonitorConfig{
+		Interval:       250 * time.Millisecond,
+		Grace:          time.Second,
+		OutAfter:       2500 * time.Millisecond,
+		RecoverStreams: 4,
+		AutoRecover:    true,
+	})
+	inj := dedupstore.NewFaultInjector(c.world.Cluster)
+	osds := c.world.Cluster.OSDs()
+	target := osds[int(seed)%len(osds)]
+	start := c.world.Engine.Now()
+	inj.Apply(dedupstore.FaultSchedule{
+		{At: 500 * time.Millisecond, Kind: chaos.KindCrashOSD, OSD: target, Duration: 6 * time.Second},
+	})
+	c.world.Run(func(p *dedupstore.Proc) {
+		p.Sleep(7 * time.Second) // past crash + revert
+		mon.WaitSettled(p)
+	})
+	mon.Stop()
+	rel := func(at dedupstore.SimTime) time.Duration { return (at - start).Duration() }
+	for _, ev := range inj.Events() {
+		what := "fault: " + ev.Fault.String()
+		if ev.Revert {
+			what = "fault reverted: " + ev.Fault.String()
+		}
+		fmt.Printf("%8v  %s\n", rel(ev.At), what)
+	}
+	for _, ev := range mon.Events() {
+		fmt.Printf("%8v  monitor: %s osd.%d\n", rel(ev.At), ev.Kind, ev.OSD)
+	}
+	reg := c.world.Cluster.Metrics()
+	fmt.Printf("degraded reads %d, degraded writes %d, timeouts %d, recovered %.2f MB\n",
+		reg.Counter("rados_degraded_reads_total").Value(),
+		reg.Counter("rados_degraded_writes_total").Value(),
+		reg.Counter("rados_requests_timed_out_total").Value(),
+		float64(c.world.Cluster.RecoveredBytes())/1e6)
 }
 
 func (c *ctl) verify() {

@@ -24,6 +24,7 @@
 package dedupstore
 
 import (
+	"dedupstore/internal/chaos"
 	"dedupstore/internal/client"
 	"dedupstore/internal/core"
 	"dedupstore/internal/metrics"
@@ -38,6 +39,8 @@ type (
 	Proc = sim.Proc
 	// Engine is the discrete-event simulation engine.
 	Engine = sim.Engine
+	// SimTime is a point on the virtual clock.
+	SimTime = sim.Time
 	// Cluster is the scale-out object-store substrate.
 	Cluster = rados.Cluster
 	// Pool is an object pool with its own redundancy scheme.
@@ -60,6 +63,22 @@ type (
 	TraceSink = metrics.TraceSink
 	// Span is one traced operation with its queue-wait/service breakdown.
 	Span = metrics.Span
+	// Monitor is the heartbeat failure detector (Cluster.StartMonitor).
+	Monitor = rados.Monitor
+	// MonitorConfig tunes heartbeat detection and auto-recovery.
+	MonitorConfig = rados.MonitorConfig
+	// MonEvent is one availability-timeline entry from the monitor.
+	MonEvent = rados.MonEvent
+	// FaultInjector executes deterministic fault schedules (chaos.NewInjector).
+	FaultInjector = chaos.Injector
+	// Fault is one scheduled fault (crash, restart, slow disk/NIC).
+	Fault = chaos.Fault
+	// FaultSchedule is an ordered set of faults.
+	FaultSchedule = chaos.Schedule
+	// RetryBackend wraps an object backend with timeout/backoff retries.
+	RetryBackend = client.RetryBackend
+	// RetryPolicy bounds a RetryBackend's retry loop.
+	RetryPolicy = client.RetryPolicy
 )
 
 // FormatUsage renders resource utilization rows (Cluster.Resources().Snapshot)
@@ -72,6 +91,21 @@ var (
 	ReplicatedN = rados.ReplicatedN
 	// ErasureKM returns a k+m erasure-coding scheme.
 	ErasureKM = rados.ErasureKM
+)
+
+// Chaos helpers.
+var (
+	// NewFaultInjector binds a fault injector to a cluster.
+	NewFaultInjector = chaos.NewInjector
+	// GenerateFaults draws a reproducible random fault schedule from a seed.
+	GenerateFaults = chaos.Generate
+	// DefaultMonitorConfig returns the failure detector defaults.
+	DefaultMonitorConfig = rados.DefaultMonitorConfig
+	// DefaultRetryPolicy returns the client retry defaults.
+	DefaultRetryPolicy = client.DefaultRetryPolicy
+	// IsUnavailable reports whether an error is transient unavailability a
+	// client should retry (dead primary not yet remapped, PG below quorum).
+	IsUnavailable = rados.IsUnavailable
 )
 
 // DefaultConfig returns the paper's evaluation configuration (32 KiB static

@@ -53,8 +53,10 @@ func main() {
 
 	// Pull two drives on different hosts and put in fresh replacements.
 	for _, osd := range []int{2, 9} {
-		world.Cluster.FailOSD(osd)
-		if err := world.Cluster.ReplaceOSD(osd); err != nil {
+		if err := world.Cluster.FailOSD(osd); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := world.Cluster.ReplaceOSD(osd); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,304 @@
+// Package chaos injects deterministic faults into a simulated cluster.
+//
+// A Schedule is a list of timed faults — OSD/host crashes and restarts,
+// transient slow disks, NIC degradation — executed on the simulation's
+// virtual clock via Engine.After, so a given (schedule, seed) pair replays
+// bit-for-bit: the same faults land between the same I/O events on every
+// run. Schedules are either written by hand or drawn deterministically from
+// a seed with Generate.
+//
+// The injector only flips fault state; detection and reaction live
+// elsewhere (the rados heartbeat Monitor marks crashed OSDs down/out and
+// triggers recovery, clients ride out the window with retries). That split
+// mirrors the real system: a dying disk does not announce itself.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+)
+
+// Kind names a fault type.
+type Kind string
+
+const (
+	// KindCrashOSD kills one OSD process. Its on-disk state survives; any
+	// writes it misses while dead are wiped on restart (crash-consistency:
+	// the journal replay that would reconcile them is not modeled).
+	KindCrashOSD Kind = "crash-osd"
+	// KindRestartOSD brings a crashed OSD process back.
+	KindRestartOSD Kind = "restart-osd"
+	// KindCrashHost kills every OSD process on one host.
+	KindCrashHost Kind = "crash-host"
+	// KindRestartHost restarts every OSD process on one host.
+	KindRestartHost Kind = "restart-host"
+	// KindSlowDisk multiplies one OSD's disk service time by Factor
+	// (a failing drive retrying sectors).
+	KindSlowDisk Kind = "slow-disk"
+	// KindSlowNIC multiplies one host's NIC serialization time by Factor
+	// (link renegotiated down, duplex mismatch).
+	KindSlowNIC Kind = "slow-nic"
+)
+
+// Fault is one scheduled fault.
+type Fault struct {
+	// At is the virtual-time offset from Injector.Apply at which the fault
+	// fires.
+	At time.Duration
+	// Kind selects the fault type.
+	Kind Kind
+	// OSD targets crash-osd, restart-osd and slow-disk.
+	OSD int
+	// Host targets crash-host, restart-host and slow-nic.
+	Host string
+	// Factor is the slowdown multiplier for slow-disk / slow-nic (> 1).
+	Factor float64
+	// Duration, when > 0, auto-reverts the fault after this long: crashed
+	// OSDs/hosts restart, slow disks/NICs return to nominal speed.
+	// Ignored for restart faults.
+	Duration time.Duration
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case KindCrashHost, KindRestartHost, KindSlowNIC:
+		return fmt.Sprintf("%s(%s)", f.Kind, f.Host)
+	default:
+		return fmt.Sprintf("%s(osd.%d)", f.Kind, f.OSD)
+	}
+}
+
+// Schedule is an ordered set of faults. Apply sorts it by At (stable, so
+// equal-time faults keep their written order).
+type Schedule []Fault
+
+// Event records one injector action on the availability timeline.
+type Event struct {
+	At     sim.Time
+	Fault  Fault
+	Revert bool   // true when this is the auto-revert of a timed fault
+	Err    string // non-empty when the action failed (e.g. unknown OSD)
+}
+
+func (e Event) String() string {
+	tag := ""
+	if e.Revert {
+		tag = " revert"
+	}
+	if e.Err != "" {
+		tag += " err=" + e.Err
+	}
+	return fmt.Sprintf("%v %v%s", e.At, e.Fault, tag)
+}
+
+// Injector executes fault schedules against one cluster.
+type Injector struct {
+	c      *rados.Cluster
+	events []Event
+}
+
+// NewInjector returns an injector bound to c.
+func NewInjector(c *rados.Cluster) *Injector {
+	return &Injector{c: c}
+}
+
+// Apply schedules every fault in s relative to the current virtual time.
+// Call it before Engine.Run (or from a running process); the timers count
+// as foreground work, so the simulation does not end with faults pending.
+func (in *Injector) Apply(s Schedule) {
+	sched := make(Schedule, len(s))
+	copy(sched, s)
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	eng := in.c.Engine()
+	for _, f := range sched {
+		f := f
+		eng.After(f.At, func() { in.fire(f, false) })
+		if f.Duration > 0 && f.Kind != KindRestartOSD && f.Kind != KindRestartHost {
+			eng.After(f.At+f.Duration, func() { in.fire(f, true) })
+		}
+	}
+}
+
+// Events returns the actions taken so far, in firing order.
+func (in *Injector) Events() []Event {
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// fire applies one fault (or its revert). Runs as an Engine.After callback:
+// it must not park, and none of the cluster fault hooks do.
+func (in *Injector) fire(f Fault, revert bool) {
+	var err error
+	switch f.Kind {
+	case KindCrashOSD:
+		if revert {
+			err = in.c.RestartOSD(f.OSD)
+		} else {
+			err = in.c.CrashOSD(f.OSD)
+		}
+	case KindRestartOSD:
+		err = in.c.RestartOSD(f.OSD)
+	case KindCrashHost, KindRestartHost:
+		restart := f.Kind == KindRestartHost || revert
+		ids := in.c.HostOSDs(f.Host)
+		if len(ids) == 0 {
+			err = fmt.Errorf("chaos: no OSDs on host %q", f.Host)
+		}
+		for _, id := range ids {
+			var e error
+			if restart {
+				e = in.c.RestartOSD(id)
+			} else {
+				e = in.c.CrashOSD(id)
+			}
+			if e != nil && err == nil {
+				err = e
+			}
+		}
+	case KindSlowDisk:
+		if revert {
+			err = in.c.SetOSDSlow(f.OSD, 1)
+		} else {
+			err = in.c.SetOSDSlow(f.OSD, f.Factor)
+		}
+	case KindSlowNIC:
+		if revert {
+			err = in.c.SetNICSlow(f.Host, 1)
+		} else {
+			err = in.c.SetNICSlow(f.Host, f.Factor)
+		}
+	default:
+		err = fmt.Errorf("chaos: unknown fault kind %q", f.Kind)
+	}
+	ev := Event{At: in.c.Engine().Now(), Fault: f, Revert: revert}
+	if err != nil {
+		ev.Err = err.Error()
+	} else if !revert {
+		in.c.Metrics().Counter("chaos_faults_total").Inc()
+		in.c.Metrics().Counter("chaos_faults_total:" + string(f.Kind)).Inc()
+	}
+	in.events = append(in.events, ev)
+}
+
+// GenConfig bounds a generated schedule.
+type GenConfig struct {
+	// Faults is how many faults to draw.
+	Faults int
+	// Horizon is the window faults are spread over (At drawn uniformly).
+	Horizon time.Duration
+	// OSDs and Hosts are the candidate targets (typically Cluster.OSDs()
+	// and the host name list).
+	OSDs  []int
+	Hosts []string
+	// MaxCrashed caps how many OSD processes may be dead at once, so a
+	// generated schedule cannot exceed the pools' failure tolerance.
+	// Zero means 1.
+	MaxCrashed int
+	// Kinds is the fault mix to draw from; nil means all kinds except
+	// explicit restarts (crashes are timed, so restarts are implicit).
+	Kinds []Kind
+}
+
+// Generate draws a reproducible random schedule: same seed and config,
+// same schedule. Crash faults get a bounded Duration so the cluster always
+// returns to full strength, and the MaxCrashed cap is enforced against the
+// overlap of crash windows (host crashes counting every OSD on the host).
+func Generate(seed int64, cfg GenConfig) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.Faults <= 0 || cfg.Horizon <= 0 {
+		return nil
+	}
+	if cfg.MaxCrashed < 1 {
+		cfg.MaxCrashed = 1
+	}
+	kinds := cfg.Kinds
+	if kinds == nil {
+		kinds = []Kind{KindCrashOSD, KindCrashHost, KindSlowDisk, KindSlowNIC}
+	}
+	// crashed tracks [start, end) windows of dead-OSD counts for the
+	// MaxCrashed overlap check.
+	type window struct {
+		start, end time.Duration
+		n          int
+	}
+	var windows []window
+	overlap := func(start, end time.Duration, n int) bool {
+		peak := n
+		for _, w := range windows {
+			if start < w.end && w.start < end {
+				peak += w.n
+			}
+		}
+		return peak > cfg.MaxCrashed
+	}
+	var s Schedule
+	for tries := 0; len(s) < cfg.Faults && tries < cfg.Faults*20; tries++ {
+		k := kinds[rng.Intn(len(kinds))]
+		at := time.Duration(rng.Int63n(int64(cfg.Horizon)))
+		switch k {
+		case KindCrashOSD:
+			if len(cfg.OSDs) == 0 {
+				continue
+			}
+			d := cfg.Horizon/4 + time.Duration(rng.Int63n(int64(cfg.Horizon/4)))
+			if overlap(at, at+d, 1) {
+				continue
+			}
+			windows = append(windows, window{at, at + d, 1})
+			s = append(s, Fault{At: at, Kind: k, OSD: cfg.OSDs[rng.Intn(len(cfg.OSDs))], Duration: d})
+		case KindCrashHost:
+			if len(cfg.Hosts) == 0 {
+				continue
+			}
+			h := cfg.Hosts[rng.Intn(len(cfg.Hosts))]
+			n := len(cfg.OSDs) / len(cfg.Hosts)
+			if n < 1 {
+				n = 1
+			}
+			d := cfg.Horizon/4 + time.Duration(rng.Int63n(int64(cfg.Horizon/4)))
+			if overlap(at, at+d, n) {
+				continue
+			}
+			windows = append(windows, window{at, at + d, n})
+			s = append(s, Fault{At: at, Kind: k, Host: h, Duration: d})
+		case KindSlowDisk:
+			if len(cfg.OSDs) == 0 {
+				continue
+			}
+			s = append(s, Fault{
+				At: at, Kind: k,
+				OSD:      cfg.OSDs[rng.Intn(len(cfg.OSDs))],
+				Factor:   2 + rng.Float64()*8,
+				Duration: time.Duration(rng.Int63n(int64(cfg.Horizon / 4))),
+			})
+		case KindSlowNIC:
+			if len(cfg.Hosts) == 0 {
+				continue
+			}
+			s = append(s, Fault{
+				At: at, Kind: k,
+				Host:     cfg.Hosts[rng.Intn(len(cfg.Hosts))],
+				Factor:   2 + rng.Float64()*6,
+				Duration: time.Duration(rng.Int63n(int64(cfg.Horizon / 4))),
+			})
+		case KindRestartOSD:
+			if len(cfg.OSDs) == 0 {
+				continue
+			}
+			s = append(s, Fault{At: at, Kind: k, OSD: cfg.OSDs[rng.Intn(len(cfg.OSDs))]})
+		case KindRestartHost:
+			if len(cfg.Hosts) == 0 {
+				continue
+			}
+			s = append(s, Fault{At: at, Kind: k, Host: cfg.Hosts[rng.Intn(len(cfg.Hosts))]})
+		}
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return s
+}

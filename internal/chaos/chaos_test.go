@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/simcost"
+)
+
+func newCluster(seed int64) (*sim.Engine, *rados.Cluster) {
+	eng := sim.New(seed)
+	return eng, rados.NewTestbed(eng, simcost.Default(), 4, 4)
+}
+
+func TestInjectorAppliesAndReverts(t *testing.T) {
+	eng, c := newCluster(1)
+	in := NewInjector(c)
+	in.Apply(Schedule{
+		{At: 10 * time.Millisecond, Kind: KindCrashOSD, OSD: 3, Duration: 50 * time.Millisecond},
+		{At: 20 * time.Millisecond, Kind: KindSlowDisk, OSD: 7, Factor: 4, Duration: 30 * time.Millisecond},
+		{At: 30 * time.Millisecond, Kind: KindCrashHost, Host: "host2", Duration: 40 * time.Millisecond},
+		{At: 40 * time.Millisecond, Kind: KindSlowNIC, Host: "host1", Factor: 3, Duration: 10 * time.Millisecond},
+	})
+
+	// Probe liveness at points between the fault edges.
+	type probe struct {
+		at    time.Duration
+		check func()
+	}
+	probes := []probe{
+		{15 * time.Millisecond, func() {
+			if c.OSDAlive(3) {
+				t.Error("osd.3 alive at t=15ms, crashed at 10ms")
+			}
+		}},
+		{45 * time.Millisecond, func() {
+			for _, id := range c.HostOSDs("host2") {
+				if c.OSDAlive(id) {
+					t.Errorf("host2 osd.%d alive at t=45ms, host crashed at 30ms", id)
+				}
+			}
+		}},
+		{65 * time.Millisecond, func() {
+			if !c.OSDAlive(3) {
+				t.Error("osd.3 dead at t=65ms, revert was due at 60ms")
+			}
+		}},
+		{80 * time.Millisecond, func() {
+			for _, id := range c.HostOSDs("host2") {
+				if !c.OSDAlive(id) {
+					t.Errorf("host2 osd.%d dead at t=80ms, revert was due at 70ms", id)
+				}
+			}
+		}},
+	}
+	for _, pr := range probes {
+		pr := pr
+		eng.After(pr.at, pr.check)
+	}
+	if left := eng.Run(); left != 0 {
+		t.Fatalf("%d processes left blocked", left)
+	}
+
+	evs := in.Events()
+	// 4 faults + 4 reverts, all error-free.
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want 8: %v", len(evs), evs)
+	}
+	for _, ev := range evs {
+		if ev.Err != "" {
+			t.Errorf("event %v failed: %s", ev, ev.Err)
+		}
+	}
+	if got := c.Metrics().Counter("chaos_faults_total").Value(); got != 4 {
+		t.Errorf("chaos_faults_total = %d, want 4", got)
+	}
+	if got := c.Metrics().Counter("chaos_faults_total:crash-osd").Value(); got != 1 {
+		t.Errorf("chaos_faults_total:crash-osd = %d, want 1", got)
+	}
+}
+
+func TestInjectorRecordsErrors(t *testing.T) {
+	eng, c := newCluster(1)
+	in := NewInjector(c)
+	in.Apply(Schedule{
+		{At: time.Millisecond, Kind: KindCrashOSD, OSD: 99},
+		{At: 2 * time.Millisecond, Kind: KindCrashHost, Host: "nope"},
+	})
+	eng.Run()
+	evs := in.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Err == "" {
+			t.Errorf("event %v should have failed", ev)
+		}
+	}
+	if got := c.Metrics().Counter("chaos_faults_total").Value(); got != 0 {
+		t.Errorf("failed faults counted: chaos_faults_total = %d", got)
+	}
+}
+
+// timeline runs a generated schedule against a fresh cluster and returns a
+// canonical string of everything observable: injector events and fault
+// counters.
+func timeline(seed int64) string {
+	eng, c := newCluster(seed)
+	cfg := GenConfig{
+		Faults:     6,
+		Horizon:    2 * time.Second,
+		OSDs:       c.OSDs(),
+		Hosts:      []string{"host0", "host1", "host2", "host3"},
+		MaxCrashed: 1,
+	}
+	in := NewInjector(c)
+	in.Apply(Generate(seed, cfg))
+	eng.Run()
+	out := ""
+	for _, ev := range in.Events() {
+		out += ev.String() + "\n"
+	}
+	out += fmt.Sprintf("faults=%d\n", c.Metrics().Counter("chaos_faults_total").Value())
+	return out
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := timeline(7), timeline(7)
+	if a != b {
+		t.Fatalf("same seed diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+	if a == timeline(8) {
+		t.Fatal("different seeds produced identical timelines")
+	}
+}
+
+func TestGenerateRespectsMaxCrashed(t *testing.T) {
+	_, c := newCluster(1)
+	s := Generate(3, GenConfig{
+		Faults:     12,
+		Horizon:    5 * time.Second,
+		OSDs:       c.OSDs(),
+		Hosts:      []string{"host0", "host1", "host2", "host3"},
+		MaxCrashed: 1,
+		Kinds:      []Kind{KindCrashOSD},
+	})
+	if len(s) == 0 {
+		t.Fatal("empty schedule")
+	}
+	// With MaxCrashed=1 no two crash windows may overlap.
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			a, b := s[i], s[j]
+			if a.At < b.At+b.Duration && b.At < a.At+a.Duration {
+				t.Fatalf("crash windows overlap: %v and %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/simcost"
+)
+
+// flakyBackend fails the first n calls with a retryable unavailability
+// error, then delegates to an in-memory map.
+type flakyBackend struct {
+	failures int
+	calls    int
+	objects  map[string][]byte
+}
+
+func (f *flakyBackend) step() error {
+	f.calls++
+	if f.calls <= f.failures {
+		return rados.ErrOSDDown
+	}
+	return nil
+}
+
+func (f *flakyBackend) Write(p *sim.Proc, oid string, off int64, data []byte) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	if f.objects == nil {
+		f.objects = map[string][]byte{}
+	}
+	f.objects[oid] = append([]byte(nil), data...)
+	return nil
+}
+
+func (f *flakyBackend) Read(p *sim.Proc, oid string, off, length int64) ([]byte, error) {
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	return f.objects[oid], nil
+}
+
+func (f *flakyBackend) Delete(p *sim.Proc, oid string) error {
+	if err := f.step(); err != nil {
+		return err
+	}
+	delete(f.objects, oid)
+	return nil
+}
+
+func TestRetryBackendAbsorbsTransientFailures(t *testing.T) {
+	eng := sim.New(1)
+	inner := &flakyBackend{failures: 5}
+	rb := NewRetryBackend(inner, RetryPolicy{MaxAttempts: 10, Base: time.Millisecond, Max: 8 * time.Millisecond}, nil)
+	run(t, eng, func(p *sim.Proc) {
+		t0 := p.Now()
+		if err := rb.Write(p, "o", 0, []byte("hello")); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		// 5 retries with backoff 1+2+4+8+8 = 23ms of virtual waiting.
+		if waited := (p.Now() - t0).Duration(); waited < 23*time.Millisecond {
+			t.Errorf("backoff slept only %v, want >= 23ms", waited)
+		}
+		got, err := rb.Read(p, "o", 0, -1)
+		if err != nil || !bytes.Equal(got, []byte("hello")) {
+			t.Fatalf("read: %v %q", err, got)
+		}
+	})
+	if s := rb.Stats(); s.Retries != 5 || s.Exhausted != 0 {
+		t.Errorf("stats = %+v, want 5 retries, 0 exhausted", s)
+	}
+}
+
+func TestRetryBackendExhausts(t *testing.T) {
+	eng := sim.New(1)
+	inner := &flakyBackend{failures: 1 << 30}
+	rb := NewRetryBackend(inner, RetryPolicy{MaxAttempts: 3, Base: time.Millisecond, Max: time.Millisecond}, nil)
+	run(t, eng, func(p *sim.Proc) {
+		err := rb.Write(p, "o", 0, []byte("x"))
+		if !rados.IsUnavailable(err) {
+			t.Fatalf("err = %v, want unavailability passed through", err)
+		}
+	})
+	if inner.calls != 3 {
+		t.Errorf("inner called %d times, want 3", inner.calls)
+	}
+	if s := rb.Stats(); s.Exhausted != 1 {
+		t.Errorf("stats = %+v, want 1 exhausted", s)
+	}
+}
+
+func TestRetryBackendPermanentErrorsPassThrough(t *testing.T) {
+	eng := sim.New(1)
+	c := rados.NewTestbed(eng, simcost.Default(), 2, 2)
+	pool, err := c.CreatePool(rados.PoolConfig{Name: "p", PGNum: 16, Redundancy: rados.ReplicatedN(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := NewRetryBackend(&RawBackend{GW: c.NewGateway("cl"), Pool: pool}, DefaultRetryPolicy(), c.Metrics())
+	run(t, eng, func(p *sim.Proc) {
+		_, err := rb.Read(p, "missing", 0, -1)
+		if !errors.Is(err, rados.ErrNotFound) {
+			t.Fatalf("err = %v, want not-found untouched by retry", err)
+		}
+	})
+	if got := c.Metrics().Counter("client_retries_total").Value(); got != 0 {
+		t.Errorf("retried a permanent error %d times", got)
+	}
+}

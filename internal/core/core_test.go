@@ -514,8 +514,12 @@ func TestRecoveryPreservesDedupState(t *testing.T) {
 	// — the "self-contained object" claim.
 	e.c.FailOSD(2)
 	e.c.FailOSD(9)
-	e.c.ReplaceOSD(2)
-	e.c.ReplaceOSD(9)
+	if _, err := e.c.ReplaceOSD(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.c.ReplaceOSD(9); err != nil {
+		t.Fatal(err)
+	}
 	e.run(t, func(p *sim.Proc) { e.c.Recover(p, 4) })
 	e.run(t, func(p *sim.Proc) {
 		for i := 0; i < 6; i++ {

@@ -224,14 +224,24 @@ func (e *Engine) flushObject(p *sim.Proc, gw *rados.Gateway, hostName, oid strin
 	if s.cfg.CDC != nil {
 		if err := e.flushObjectCDC(p, gw, hostName, oid); err != nil {
 			e.stats.Requeued++
-			return gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
-				return store.NewTxn().Create().OmapSet(oid, nil), nil
-			})
+			return e.requeueDirty(p, gw, oid)
 		}
 		return nil
 	}
 
-	raw, err := gw.GetXattr(p, s.meta, oid, XattrChunkMap)
+	var raw []byte
+	err := retryUnavailable(p, func() error {
+		var e2 error
+		raw, e2 = gw.GetXattr(p, s.meta, oid, XattrChunkMap)
+		return e2
+	})
+	if rados.IsUnavailable(err) {
+		// Claimed but unreachable: put it back rather than mistake a crash
+		// window for deletion and lose the dirty entry.
+		e.stats.Requeued++
+		e.reg().Counter("dedup_requeued_total").Inc()
+		return e.requeueDirty(p, gw, oid)
+	}
 	if err != nil {
 		return nil // deleted meanwhile
 	}
@@ -278,11 +288,21 @@ func (e *Engine) flushObject(p *sim.Proc, gw *rados.Gateway, hostName, oid strin
 	if requeue {
 		e.stats.Requeued++
 		e.reg().Counter("dedup_requeued_total").Inc()
+		return e.requeueDirty(p, gw, oid)
+	}
+	return nil
+}
+
+// requeueDirty puts a claimed object back on its PG's dirty list. The write
+// is retried through transient unavailability: losing it would strand dirty
+// cached chunks that no future sweep ever revisits.
+func (e *Engine) requeueDirty(p *sim.Proc, gw *rados.Gateway, oid string) error {
+	s := e.s
+	return retryUnavailable(p, func() error {
 		return gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
 			return store.NewTxn().Create().OmapSet(oid, nil), nil
 		})
-	}
-	return nil
+	})
 }
 
 // EvictStats reports one cold-eviction pass.

@@ -63,7 +63,12 @@ func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 	gw := s.hostGW(anyHost(s))
 	for _, chunkOID := range s.cluster.ListObjects(s.chunk) {
 		stats.ChunksScanned++
-		refs, err := gw.OmapList(p, s.chunk, chunkOID, 0)
+		var refs []string
+		err := retryUnavailable(p, func() error {
+			var e error
+			refs, e = gw.OmapList(p, s.chunk, chunkOID, 0)
+			return e
+		})
 		if err != nil {
 			if errors.Is(err, ErrNotFound) {
 				continue
@@ -92,30 +97,33 @@ func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 		// again under the PG lock so a racing incref wins.
 		size, _ := gw.Stat(p, s.chunk, chunkOID)
 		deleted := false
-		err = gw.Mutate(p, s.chunk, chunkOID, func(v rados.View) (*store.Txn, error) {
-			txn := store.NewTxn()
-			keys, err := v.OmapList(0)
-			if err != nil {
-				return nil, err
-			}
-			remaining := 0
-			staleSet := make(map[string]bool, len(stale))
-			for _, k := range stale {
-				staleSet[k] = true
-			}
-			for _, k := range keys {
-				if staleSet[k] {
-					txn.OmapRm(k)
-				} else {
-					remaining++
+		err = retryUnavailable(p, func() error {
+			deleted = false
+			return gw.Mutate(p, s.chunk, chunkOID, func(v rados.View) (*store.Txn, error) {
+				txn := store.NewTxn()
+				keys, err := v.OmapList(0)
+				if err != nil {
+					return nil, err
 				}
-			}
-			if remaining == 0 {
-				deleted = true
-				return store.NewTxn().Delete(), nil
-			}
-			txn.SetXattr(XattrRefCount, encodeCount(uint64(remaining)))
-			return txn, nil
+				remaining := 0
+				staleSet := make(map[string]bool, len(stale))
+				for _, k := range stale {
+					staleSet[k] = true
+				}
+				for _, k := range keys {
+					if staleSet[k] {
+						txn.OmapRm(k)
+					} else {
+						remaining++
+					}
+				}
+				if remaining == 0 {
+					deleted = true
+					return store.NewTxn().Delete(), nil
+				}
+				txn.SetXattr(XattrRefCount, encodeCount(uint64(remaining)))
+				return txn, nil
+			})
 		})
 		if err != nil && !errors.Is(err, ErrNotFound) {
 			return stats, err
@@ -134,7 +142,18 @@ func (s *Store) refIsLive(p *sim.Proc, gw *rados.Gateway, ref Ref, chunkOID stri
 	if ref.Pool != s.meta.ID {
 		return false
 	}
-	raw, err := gw.GetXattr(p, s.meta, ref.OID, XattrChunkMap)
+	var raw []byte
+	err := retryUnavailable(p, func() error {
+		var e error
+		raw, e = gw.GetXattr(p, s.meta, ref.OID, XattrChunkMap)
+		return e
+	})
+	if rados.IsUnavailable(err) {
+		// Could not reach the source object's PG even after backoff (e.g. a
+		// crash window longer than the retry budget). Keep the ref: treating
+		// "unreachable" as "gone" would delete a chunk live data points at.
+		return true
+	}
 	if err != nil {
 		return false // source object gone
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 )
 
@@ -49,7 +50,12 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 	// hashing invariant) and the refcount must equal the back-ref count.
 	for _, chunkOID := range s.cluster.ListObjects(s.chunk) {
 		rep.ChunkObjects++
-		data, err := gw.Read(p, s.chunk, chunkOID, 0, -1)
+		var data []byte
+		err := retryUnavailable(p, func() error {
+			var e error
+			data, e = gw.Read(p, s.chunk, chunkOID, 0, -1)
+			return e
+		})
 		if err != nil {
 			if errors.Is(err, ErrNotFound) {
 				continue // deleted concurrently
@@ -66,11 +72,26 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 		if got := FingerprintID(data); got != chunkOID {
 			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "content does not match fingerprint (bit rot)"})
 		}
-		refs, err := gw.OmapList(p, s.chunk, chunkOID, 0)
+		var refs []string
+		err = retryUnavailable(p, func() error {
+			var e error
+			refs, e = gw.OmapList(p, s.chunk, chunkOID, 0)
+			return e
+		})
 		if err != nil && !errors.Is(err, ErrNotFound) {
 			return rep, err
 		}
-		rcRaw, err := gw.GetXattr(p, s.chunk, chunkOID, XattrRefCount)
+		var rcRaw []byte
+		err = retryUnavailable(p, func() error {
+			var e error
+			rcRaw, e = gw.GetXattr(p, s.chunk, chunkOID, XattrRefCount)
+			return e
+		})
+		if rados.IsUnavailable(err) {
+			// Unreachable is not the same as missing: report the pass as
+			// failed rather than log a phantom inconsistency.
+			return rep, err
+		}
 		if err != nil {
 			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "missing refcount xattr"})
 			continue
@@ -86,7 +107,15 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 			continue
 		}
 		rep.MetadataObjects++
-		raw, err := gw.GetXattr(p, s.meta, oid, XattrChunkMap)
+		var raw []byte
+		err := retryUnavailable(p, func() error {
+			var e error
+			raw, e = gw.GetXattr(p, s.meta, oid, XattrChunkMap)
+			return e
+		})
+		if rados.IsUnavailable(err) {
+			return rep, err
+		}
 		if err != nil {
 			rep.Issues = append(rep.Issues, ScrubIssue{OID: oid, Detail: "missing chunk map"})
 			continue
@@ -106,7 +135,12 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 			if e.Cached || e.Dirty {
 				continue // data still (also) in the metadata object
 			}
-			ok, err := gw.Exists(p, s.chunk, e.ChunkID)
+			var ok bool
+			err := retryUnavailable(p, func() error {
+				var e2 error
+				ok, e2 = gw.Exists(p, s.chunk, e.ChunkID)
+				return e2
+			})
 			if err != nil {
 				return rep, err
 			}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dedupstore/internal/chaos"
+	"dedupstore/internal/client"
+	"dedupstore/internal/core"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+)
+
+// Chaos is the availability experiment: a dedup store under continuous
+// foreground load takes a seeded OSD crash, and the report walks the whole
+// reaction chain — heartbeat detection, degraded I/O, mark-out, remap,
+// recovery, rejoin — as an availability timeline with the paper-relevant
+// outcome: zero foreground failures and intact dedup invariants.
+//
+// Everything runs on the virtual clock from a fixed seed, so a given
+// (seed, scale) pair reproduces bit-for-bit, faults landing between the
+// same I/O events on every run.
+
+// ChaosScenario selects the chunk-pool protection scheme under test.
+type ChaosScenario struct {
+	Name  string
+	Chunk rados.Redundancy
+}
+
+// ChaosEvent is one timeline row.
+type ChaosEvent struct {
+	At   time.Duration // virtual time from experiment start
+	What string
+}
+
+// ChaosResult is one scenario's outcome.
+type ChaosResult struct {
+	Scenario string
+	Timeline []ChaosEvent
+
+	// Availability measures.
+	DetectLatency time.Duration // crash -> marked down
+	Downtime      time.Duration // crash -> process restarted
+	MTTR          time.Duration // crash -> cluster settled at full redundancy
+
+	// Work absorbed by the degraded-I/O machinery.
+	DegradedReads  int64
+	DegradedWrites int64
+	Timeouts       int64
+	ClientRetries  int64
+	ReplicaHeals   int64
+	RecoveredBytes int64
+
+	// Invariants after the dust settles.
+	ForegroundErrors int
+	VerifyErrors     int
+	ScrubIssues      int
+	GCStaleRefs      int64
+}
+
+// DefaultChaosScenarios covers both protection schemes for the chunk pool.
+func DefaultChaosScenarios() []ChaosScenario {
+	return []ChaosScenario{
+		{Name: "rep2", Chunk: rados.ReplicatedN(2)},
+		{Name: "ec2+1", Chunk: rados.ErasureKM(2, 1)},
+	}
+}
+
+// Chaos runs every scenario with the same seed and fault schedule.
+func Chaos(sc Scale) []ChaosResult {
+	var out []ChaosResult
+	for _, scn := range DefaultChaosScenarios() {
+		out = append(out, chaosRun(sc, scn, 811))
+	}
+	return out
+}
+
+func chaosRun(sc Scale, scn ChaosScenario, seed int64) ChaosResult {
+	res := ChaosResult{Scenario: scn.Name}
+	h := newHarness(seed, 4, 4)
+	s := h.dedupStore(func(cfg *core.Config) {
+		cfg.ChunkRedundancy = scn.Chunk
+		cfg.Rate.Enabled = false
+		cfg.HitSet.HitCount = 1000 // nothing is "hot": everything flushes
+		cfg.DedupThreads = 4
+		cfg.FalsePositiveRefs = true // crash-safe refcount mode (§4.6)
+	})
+	mon := h.c.StartMonitor(rados.MonitorConfig{
+		Interval:       250 * time.Millisecond,
+		Grace:          time.Second,
+		OutAfter:       2500 * time.Millisecond,
+		RecoverStreams: 4,
+		AutoRecover:    true,
+	})
+	s.StartEngine()
+
+	const (
+		workers  = 4
+		objSize  = 16 << 10
+		crashed  = 5
+		crashAt  = time.Second
+		crashFor = 4 * time.Second
+		loadFor  = 8 * time.Second
+	)
+	objects := sc.countMin(96, 16)
+	perWorker := objects / workers
+
+	inj := chaos.NewInjector(h.c)
+	shadow := make([][]byte, objects)
+	var t0 sim.Time
+
+	h.run(func(p *sim.Proc) {
+		// Preload half the namespace so the crash window also hits reads,
+		// deref-rewrites and flushes of pre-existing state.
+		pre := rand.New(rand.NewSource(seed + 100))
+		backend := client.NewRetryBackend(
+			&client.DedupBackend{Client: s.Client("preload")},
+			client.DefaultRetryPolicy(), h.c.Metrics())
+		for i := 0; i < objects/2; i++ {
+			shadow[i] = chaosObject(pre, objSize)
+			if err := backend.Write(p, chaosOID(i), 0, shadow[i]); err != nil {
+				res.ForegroundErrors++
+			}
+		}
+		s.Engine().DrainAndWait(p)
+		s.StartEngine() // workers keep flushing through the fault window
+
+		// Fault schedule and foreground load start together at t0.
+		t0 = p.Now()
+		inj.Apply(chaos.Schedule{
+			{At: crashAt, Kind: chaos.KindCrashOSD, OSD: crashed, Duration: crashFor},
+		})
+		var sigs []*sim.Signal
+		for w := 0; w < workers; w++ {
+			w := w
+			sigs = append(sigs, p.Go(fmt.Sprintf("load%d", w), func(q *sim.Proc) {
+				rng := rand.New(rand.NewSource(seed + int64(w)))
+				be := client.NewRetryBackend(
+					&client.DedupBackend{Client: s.Client(fmt.Sprintf("client%d", w))},
+					client.DefaultRetryPolicy(), h.c.Metrics())
+				for q.Now() < t0+sim.Time(loadFor) {
+					i := w*perWorker + rng.Intn(perWorker)
+					data := chaosObject(rng, objSize)
+					if err := be.Write(q, chaosOID(i), 0, data); err != nil {
+						res.ForegroundErrors++
+					} else {
+						shadow[i] = data
+					}
+					if shadow[i] != nil && rng.Intn(3) == 0 {
+						got, err := be.Read(q, chaosOID(i), 0, int64(len(shadow[i])))
+						if err != nil {
+							res.ForegroundErrors++
+						}
+						_ = got
+					}
+					q.Sleep(time.Duration(5+rng.Intn(20)) * time.Millisecond)
+				}
+			}))
+		}
+		sim.WaitAll(p, sigs...)
+
+		mon.WaitSettled(p)
+		s.Engine().DrainAndWait(p)
+		res.MTTR = (p.Now() - t0).Duration() - crashAt
+
+		// Post-mortem: dedup invariants must have survived the window.
+		rep, err := s.Scrub(p)
+		if err != nil {
+			res.ScrubIssues = -1
+		} else {
+			res.ScrubIssues = len(rep.Issues)
+		}
+		if _, err := s.GC(p); err == nil {
+			// A second pass after cleanup must find nothing further.
+			if st, err := s.GC(p); err == nil {
+				res.GCStaleRefs = st.StaleRefs
+			}
+		}
+		verify := client.NewRetryBackend(
+			&client.DedupBackend{Client: s.Client("verify")},
+			client.DefaultRetryPolicy(), h.c.Metrics())
+		for i, want := range shadow {
+			if want == nil {
+				continue
+			}
+			got, err := verify.Read(p, chaosOID(i), 0, int64(len(want)))
+			if err != nil || string(got) != string(want) {
+				res.VerifyErrors++
+			}
+		}
+	})
+
+	// Assemble the timeline from the injector and monitor event streams.
+	rel := func(at sim.Time) time.Duration { return (at - t0).Duration() }
+	for _, ev := range inj.Events() {
+		what := "fault: " + ev.Fault.String()
+		if ev.Revert {
+			what = "fault reverted: " + ev.Fault.String()
+		}
+		res.Timeline = append(res.Timeline, ChaosEvent{At: rel(ev.At), What: what})
+	}
+	for _, ev := range mon.Events() {
+		var what string
+		switch ev.Kind {
+		case "down":
+			what = fmt.Sprintf("monitor marked osd.%d down", ev.OSD)
+			if res.DetectLatency == 0 {
+				res.DetectLatency = rel(ev.At) - crashAt
+			}
+		case "out":
+			what = fmt.Sprintf("monitor marked osd.%d out (PGs remap)", ev.OSD)
+		case "rejoin":
+			what = fmt.Sprintf("osd.%d rejoined", ev.OSD)
+		case "recovered":
+			what = "recovery pass complete"
+		}
+		res.Timeline = append(res.Timeline, ChaosEvent{At: rel(ev.At), What: what})
+	}
+	sortTimeline(res.Timeline)
+	res.Downtime = crashFor
+
+	reg := h.c.Metrics()
+	res.DegradedReads = reg.Counter("rados_degraded_reads_total").Value()
+	res.DegradedWrites = reg.Counter("rados_degraded_writes_total").Value()
+	res.Timeouts = reg.Counter("rados_requests_timed_out_total").Value()
+	res.ClientRetries = reg.Counter("client_retries_total").Value()
+	res.ReplicaHeals = reg.Counter("rados_replica_heals_total").Value()
+	res.RecoveredBytes = h.c.RecoveredBytes()
+	return res
+}
+
+func chaosOID(i int) string { return fmt.Sprintf("chaos-o%03d", i) }
+
+// chaosObject builds a pseudo-random object whose 4 KiB blocks are drawn
+// from a small pool, giving the workload a ~50% dedup ratio.
+func chaosObject(rng *rand.Rand, size int) []byte {
+	const block = 4096
+	data := make([]byte, size)
+	for off := 0; off < size; off += block {
+		b := data[off:]
+		if len(b) > block {
+			b = b[:block]
+		}
+		if rng.Intn(2) == 0 {
+			// One of 8 shared blocks: dedupable across objects.
+			fill := byte(rng.Intn(8))
+			for i := range b {
+				b[i] = fill
+			}
+		} else {
+			rng.Read(b)
+		}
+	}
+	return data
+}
+
+func sortTimeline(tl []ChaosEvent) {
+	for i := 1; i < len(tl); i++ {
+		for j := i; j > 0 && tl[j].At < tl[j-1].At; j-- {
+			tl[j], tl[j-1] = tl[j-1], tl[j]
+		}
+	}
+}
+
+// ChaosTables renders each scenario as a timeline table plus a summary.
+func ChaosTables(results []ChaosResult) []Table {
+	var out []Table
+	for _, r := range results {
+		tl := Table{
+			Title:   fmt.Sprintf("Chaos availability timeline (chunk pool %s)", r.Scenario),
+			Columns: []string{"t (virtual)", "event"},
+		}
+		for _, ev := range r.Timeline {
+			tl.Rows = append(tl.Rows, []string{ev.At.String(), ev.What})
+		}
+		out = append(out, tl)
+
+		sum := Table{
+			Title:   fmt.Sprintf("Chaos summary (chunk pool %s)", r.Scenario),
+			Columns: []string{"measure", "value"},
+			Rows: [][]string{
+				{"detection latency", r.DetectLatency.String()},
+				{"process downtime", r.Downtime.String()},
+				{"time to full redundancy (MTTR)", r.MTTR.String()},
+				{"degraded reads served", fmt.Sprint(r.DegradedReads)},
+				{"degraded writes applied", fmt.Sprint(r.DegradedWrites)},
+				{"requests timed out", fmt.Sprint(r.Timeouts)},
+				{"client retries absorbed", fmt.Sprint(r.ClientRetries)},
+				{"replica heal-on-write repairs", fmt.Sprint(r.ReplicaHeals)},
+				{"bytes moved by recovery", mb(r.RecoveredBytes)},
+				{"foreground op failures", fmt.Sprint(r.ForegroundErrors)},
+				{"objects failing verification", fmt.Sprint(r.VerifyErrors)},
+				{"dedup scrub issues", fmt.Sprint(r.ScrubIssues)},
+				{"stale refs after GC", fmt.Sprint(r.GCStaleRefs)},
+			},
+			Notes: []string{
+				"all times virtual; fixed seed makes the run bit-for-bit reproducible",
+				"foreground failures, verification failures, scrub issues and residual stale refs must all be 0",
+			},
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// Fingerprint canonicalizes a result for determinism checks: two runs with
+// the same seed must produce identical fingerprints.
+func (r ChaosResult) Fingerprint() string {
+	s := r.Scenario + "\n"
+	for _, ev := range r.Timeline {
+		s += fmt.Sprintf("%v %s\n", ev.At, ev.What)
+	}
+	s += fmt.Sprintf("detect=%v mttr=%v dr=%d dw=%d to=%d cr=%d rh=%d rb=%d fg=%d ve=%d si=%d gc=%d\n",
+		r.DetectLatency, r.MTTR, r.DegradedReads, r.DegradedWrites, r.Timeouts,
+		r.ClientRetries, r.ReplicaHeals, r.RecoveredBytes,
+		r.ForegroundErrors, r.VerifyErrors, r.ScrubIssues, r.GCStaleRefs)
+	return s
+}

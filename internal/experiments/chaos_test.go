@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestChaosInvariants: under a crash mid-load, no foreground op may fail, no
+// data may be lost, and the dedup invariants must hold afterwards.
+func TestChaosInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	for _, r := range Chaos(tinyScale) {
+		if r.ForegroundErrors != 0 {
+			t.Errorf("%s: %d foreground op failures, want 0", r.Scenario, r.ForegroundErrors)
+		}
+		if r.VerifyErrors != 0 {
+			t.Errorf("%s: %d objects failed verification, want 0", r.Scenario, r.VerifyErrors)
+		}
+		if r.ScrubIssues != 0 {
+			t.Errorf("%s: %d scrub issues, want 0", r.Scenario, r.ScrubIssues)
+		}
+		if r.GCStaleRefs != 0 {
+			t.Errorf("%s: %d stale refs after GC, want 0", r.Scenario, r.GCStaleRefs)
+		}
+		if r.DetectLatency <= 0 {
+			t.Errorf("%s: detection latency %v, want > 0 (crash must not be detected instantly)", r.Scenario, r.DetectLatency)
+		}
+		if len(r.Timeline) == 0 {
+			t.Errorf("%s: empty availability timeline", r.Scenario)
+		}
+	}
+}
+
+// TestChaosDeterministic: the whole experiment — fault firing, detection,
+// degraded ops, recovery, final metrics — replays bit-for-bit from a seed.
+func TestChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	a, b := Chaos(tinyScale), Chaos(tinyScale)
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		fa, fb := a[i].Fingerprint(), b[i].Fingerprint()
+		if fa != fb {
+			t.Errorf("scenario %s diverged between identical runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+				a[i].Scenario, fa, fb)
+		}
+	}
+}

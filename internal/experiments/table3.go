@@ -59,10 +59,12 @@ func Table3(sc Scale) []Table3Row {
 			h.run(func(p *sim.Proc) { s.Engine().DrainAndWait(p) })
 		}
 		for _, id := range failed {
-			h.c.FailOSD(id)
+			if err := h.c.FailOSD(id); err != nil {
+				panic(err)
+			}
 		}
 		for _, id := range failed {
-			if err := h.c.ReplaceOSD(id); err != nil {
+			if _, err := h.c.ReplaceOSD(id); err != nil {
 				panic(err)
 			}
 		}

@@ -22,10 +22,18 @@ import (
 // Errors returned by cluster operations.
 var (
 	ErrNoOSD        = errors.New("rados: no OSD available for placement group")
+	ErrOSDDown      = errors.New("rados: acting OSD down (request timed out)")
 	ErrPoolExists   = errors.New("rados: pool already exists")
 	ErrPoolNotFound = errors.New("rados: pool not found")
 	ErrNotFound     = store.ErrNotFound
 )
+
+// IsUnavailable reports whether err is a transient cluster-availability
+// error — a dead acting OSD or an unservable PG — that a client should
+// retry after a backoff, as opposed to a permanent error like ErrNotFound.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrOSDDown) || errors.Is(err, ErrNoOSD)
+}
 
 // RedundancyKind selects the pool redundancy scheme.
 type RedundancyKind int
@@ -113,6 +121,14 @@ type osd struct {
 	// slow scales disk service times (1.0 = the cost model's SSD; an HDD
 	// class OSD uses a larger factor).
 	slow float64
+	// baseSlow remembers the device's healthy factor so a transient
+	// slow-disk fault (SetOSDSlow) can be reverted.
+	baseSlow float64
+	// alive models the OSD daemon process: false after a crash, true after
+	// restart. Aliveness is orthogonal to the CRUSH up/in flags — a crashed
+	// OSD stays "up" in the map until the heartbeat monitor's grace period
+	// expires, which is exactly the degraded window chaos experiments probe.
+	alive bool
 }
 
 // diskRead charges a read of n bytes at this OSD's device speed.
@@ -142,6 +158,19 @@ type Cluster struct {
 
 	storeOpts []store.Option
 
+	// reqTimeout is how long a gateway op waits on a dead acting primary
+	// before failing with ErrOSDDown (the client-visible request timeout).
+	reqTimeout time.Duration
+	// nicSlow scales NIC serialization per host (>1 = degraded link),
+	// keyed by resource name ("nic.host0").
+	nicSlow map[string]float64
+	// missed tracks, per OSD id, object keys whose writes/deletes the OSD
+	// missed while crashed or marked down. On restart those keys are wiped
+	// from the OSD's store before it serves again (the moral equivalent of
+	// Ceph peering: a rejoining OSD must not serve stale versions), and
+	// recovery re-copies fresh ones.
+	missed map[int]map[store.Key]bool
+
 	// Stats counters.
 	fgOps     *OpCounter
 	recovered int64 // bytes moved by recovery
@@ -166,18 +195,21 @@ func WithStoreOptions(opts ...store.Option) Option {
 // model.
 func New(eng *sim.Engine, cost simcost.Params, opts ...Option) *Cluster {
 	c := &Cluster{
-		eng:       eng,
-		cost:      cost,
-		cmap:      crush.NewMap(),
-		hosts:     make(map[string]*host),
-		osds:      make(map[int]*osd),
-		pools:     make(map[string]*Pool),
-		poolsByID: make(map[uint64]*Pool),
-		pgLocks:   make(map[string]*sim.Resource),
-		fgOps:     NewOpCounter(eng),
-		reg:       metrics.NewRegistry(),
-		sink:      metrics.NewTraceSink(4096),
-		rmon:      metrics.NewResourceMonitor(),
+		eng:        eng,
+		cost:       cost,
+		cmap:       crush.NewMap(),
+		hosts:      make(map[string]*host),
+		osds:       make(map[int]*osd),
+		pools:      make(map[string]*Pool),
+		poolsByID:  make(map[uint64]*Pool),
+		pgLocks:    make(map[string]*sim.Resource),
+		reqTimeout: 2 * time.Millisecond,
+		nicSlow:    make(map[string]float64),
+		missed:     make(map[int]map[store.Key]bool),
+		fgOps:      NewOpCounter(eng),
+		reg:        metrics.NewRegistry(),
+		sink:       metrics.NewTraceSink(4096),
+		rmon:       metrics.NewResourceMonitor(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -231,11 +263,13 @@ func (c *Cluster) AddOSDClass(id int, hostName string, weight float64, class str
 		return err
 	}
 	o := &osd{
-		id:    id,
-		host:  h,
-		store: store.New(c.storeOpts...),
-		disk:  sim.NewResource(fmt.Sprintf("disk.osd%d", id), c.diskShards()),
-		slow:  slowFactor,
+		id:       id,
+		host:     h,
+		store:    store.New(c.storeOpts...),
+		disk:     sim.NewResource(fmt.Sprintf("disk.osd%d", id), c.diskShards()),
+		slow:     slowFactor,
+		baseSlow: slowFactor,
+		alive:    true,
 	}
 	c.rmon.Watch(o.disk)
 	c.osds[id] = o
@@ -422,7 +456,147 @@ func (c *Cluster) OSDs() []int { return c.cmap.OSDs() }
 
 // netSend models one network hop: the NIC is occupied only for the
 // serialization time; propagation latency accrues without holding the link.
+// A degraded link (SetNICSlow) stretches serialization by its factor.
 func (c *Cluster) netSend(p *sim.Proc, nic *sim.Resource, n int) {
-	nic.Use(p, c.cost.NetSer(n))
+	ser := c.cost.NetSer(n)
+	if f, ok := c.nicSlow[nic.Name()]; ok && f > 1 {
+		ser = time.Duration(float64(ser) * f)
+	}
+	nic.Use(p, ser)
 	p.Sleep(c.cost.NetLatency)
+}
+
+// ---------------------------------------------------------------------------
+// Fault surface: process crash/restart and performance degradation. These are
+// the primitives internal/chaos drives; they model what happens to the
+// machine, while the heartbeat Monitor models how the cluster finds out.
+
+// RequestTimeout returns the gateway request timeout charged when an op hits
+// a dead acting OSD.
+func (c *Cluster) RequestTimeout() time.Duration { return c.reqTimeout }
+
+// SetRequestTimeout adjusts the gateway request timeout (minimum 0).
+func (c *Cluster) SetRequestTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.reqTimeout = d
+}
+
+// CrashOSD kills an OSD process. The CRUSH map is NOT updated — the cluster
+// keeps routing to the dead OSD until the heartbeat monitor marks it down,
+// which is the detection window the chaos experiments measure. Ops hitting
+// the dead OSD time out (writes) or fall back to surviving redundancy
+// (reads). Crashing a crashed OSD is a no-op.
+func (c *Cluster) CrashOSD(id int) error {
+	o, ok := c.osds[id]
+	if !ok {
+		return fmt.Errorf("rados: unknown osd %d", id)
+	}
+	o.alive = false
+	c.reg.Counter("rados_osd_crashes_total").Inc()
+	return nil
+}
+
+// RestartOSD brings a crashed OSD process back with its store intact, except
+// for objects whose writes or deletes it missed while dead: those are wiped
+// before it serves again (peering — a rejoining OSD must never serve stale
+// versions) and re-copied by recovery. The monitor notices the restart on
+// its next tick and marks the OSD up/in again.
+func (c *Cluster) RestartOSD(id int) error {
+	o, ok := c.osds[id]
+	if !ok {
+		return fmt.Errorf("rados: unknown osd %d", id)
+	}
+	if o.alive {
+		return nil
+	}
+	for key := range c.missed[id] {
+		_ = o.store.Apply(key, store.NewTxn().Delete())
+	}
+	delete(c.missed, id)
+	o.alive = true
+	c.reg.Counter("rados_osd_restarts_total").Inc()
+	return nil
+}
+
+// OSDAlive reports whether the OSD process is running (independent of its
+// CRUSH up/in state).
+func (c *Cluster) OSDAlive(id int) bool {
+	o, ok := c.osds[id]
+	return ok && o.alive
+}
+
+// SetOSDSlow scales an OSD's disk service times by factor relative to its
+// healthy speed (1.0 restores it). Models a failing/throttled device.
+func (c *Cluster) SetOSDSlow(id int, factor float64) error {
+	o, ok := c.osds[id]
+	if !ok {
+		return fmt.Errorf("rados: unknown osd %d", id)
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	o.slow = o.baseSlow * factor
+	return nil
+}
+
+// SetNICSlow scales a host's NIC serialization times by factor (1.0
+// restores full speed). Models link degradation or congestion.
+func (c *Cluster) SetNICSlow(hostName string, factor float64) error {
+	h, ok := c.hosts[hostName]
+	if !ok {
+		return fmt.Errorf("rados: unknown host %q", hostName)
+	}
+	if factor <= 1 {
+		delete(c.nicSlow, h.nic.Name())
+	} else {
+		c.nicSlow[h.nic.Name()] = factor
+	}
+	return nil
+}
+
+// HostOSDs returns the ids of the OSDs on a host, ascending — the unit a
+// host-level fault takes down.
+func (c *Cluster) HostOSDs(hostName string) []int {
+	var ids []int
+	for _, id := range c.cmap.OSDs() {
+		if o := c.osds[id]; o != nil && o.host.name == hostName {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// noteMissed records that OSD id did not apply the mutation of key, so its
+// copy is stale (or a delete never landed). The key is wiped on restart.
+func (c *Cluster) noteMissed(id int, key store.Key) {
+	m := c.missed[id]
+	if m == nil {
+		m = make(map[store.Key]bool)
+		c.missed[id] = m
+	}
+	m[key] = true
+}
+
+// reconcileMissed runs after a mutation of key was applied to the OSDs in
+// applied: every dead OSD gets the miss recorded (so its copy is wiped on
+// restart), and any live copy outside the applied set — a stray left behind
+// by remapping — is deleted immediately so a degraded-read fallback can
+// never observe a stale version. This compresses Ceph's pg-log-driven
+// peering and stray cleanup into the write path.
+func (c *Cluster) reconcileMissed(key store.Key, applied map[int]bool) {
+	for _, id := range c.cmap.OSDs() {
+		o := c.osds[id]
+		if o == nil || applied[id] {
+			continue
+		}
+		if !o.alive {
+			c.noteMissed(id, key)
+			continue
+		}
+		if o.store.Exists(key) {
+			_ = o.store.Apply(key, store.NewTxn().Delete())
+		}
+	}
 }

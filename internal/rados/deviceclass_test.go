@@ -104,8 +104,12 @@ func TestDeviceClassRecoveryStaysInClass(t *testing.T) {
 	})
 	eng.Run()
 	// Replace one SSD OSD; recovery must re-place on SSDs only.
-	c.FailOSD(0)
-	c.ReplaceOSD(0)
+	if err := c.FailOSD(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReplaceOSD(0); err != nil {
+		t.Fatal(err)
+	}
 	eng.Go("r", func(p *sim.Proc) { c.Recover(p, 4) })
 	eng.Run()
 	for i := 0; i < 20; i++ {

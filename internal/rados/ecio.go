@@ -122,8 +122,8 @@ func (c *Cluster) ecHolders(p *Pool, oid string) []*osd {
 		if up, ok := c.cmap.Lookup(o.id); !ok || !up.Up {
 			continue
 		}
-		if !o.store.Exists(key) {
-			continue
+		if !o.alive || !o.store.Exists(key) {
+			continue // a crashed holder cannot serve its shard
 		}
 		idx := int(getU64(mustXattr(o.store, key, xattrECIdx)))
 		if idx >= 0 && idx < len(holders) {
@@ -150,6 +150,63 @@ func (g *Gateway) ecPrimary(pool *Pool, oid string) (*osd, error) {
 	return acting[0], nil
 }
 
+// ecWritePrimary is ecPrimary for mutation paths: a dead primary costs the
+// request timeout and fails with the retryable ErrOSDDown, and the write is
+// refused (retryably) while fewer than k acting members are alive, since it
+// could not reach durability.
+func (g *Gateway) ecWritePrimary(p *sim.Proc, pool *Pool, oid string) (*osd, error) {
+	acting := g.c.acting(pool, g.c.PGOf(pool, oid))
+	if len(acting) == 0 {
+		return nil, ErrNoOSD
+	}
+	if !acting[0].alive {
+		g.timeoutWait(p)
+		return nil, ErrOSDDown
+	}
+	alive := 0
+	for _, o := range acting {
+		if o.alive {
+			alive++
+		}
+	}
+	if alive < pool.Red.K {
+		g.timeoutWait(p)
+		return nil, ErrOSDDown
+	}
+	return acting[0], nil
+}
+
+// ecCoord selects the OSD coordinating an EC read: the acting primary when
+// alive, otherwise (after the request timeout) the first surviving acting
+// member — the degraded fan-in point.
+func (g *Gateway) ecCoord(p *sim.Proc, pool *Pool, oid string) (*osd, error) {
+	acting := g.c.acting(pool, g.c.PGOf(pool, oid))
+	if len(acting) == 0 {
+		return nil, ErrNoOSD
+	}
+	if acting[0].alive {
+		return acting[0], nil
+	}
+	g.timeoutWait(p)
+	for _, o := range acting[1:] {
+		if o.alive {
+			return o, nil
+		}
+	}
+	return nil, ErrOSDDown
+}
+
+// firstAliveActing returns the first live acting member (nil if none) —
+// used for cost charging where failure is already handled elsewhere.
+func (g *Gateway) firstAliveActing(pool *Pool, oid string) *osd {
+	for _, o := range g.c.acting(pool, g.c.PGOf(pool, oid)) {
+		if o.alive {
+			return o
+		}
+	}
+	return nil
+}
+
 // --- Write paths -------------------------------------------------------------
 
 func (g *Gateway) ecWriteFull(p *sim.Proc, pool *Pool, oid string, data []byte) error {
@@ -157,7 +214,7 @@ func (g *Gateway) ecWriteFull(p *sim.Proc, pool *Pool, oid string, data []byte) 
 	l := g.c.pgLock(pg)
 	l.Acquire(p)
 	defer l.Release(p)
-	primary, err := g.ecPrimary(pool, oid)
+	primary, err := g.ecWritePrimary(p, pool, oid)
 	if err != nil {
 		g.noteOp(0)
 		return err
@@ -169,8 +226,9 @@ func (g *Gateway) ecWriteFull(p *sim.Proc, pool *Pool, oid string, data []byte) 
 	return err
 }
 
-// ecApplyFull encodes data and writes all shards. PG lock must be held.
-// extraMeta, if non-nil, is a metadata-only txn mirrored onto every shard.
+// ecApplyFull encodes data and writes all shards. PG lock must be held and
+// the caller must have validated the primary via ecWritePrimary. extraMeta,
+// if non-nil, is a metadata-only txn mirrored onto every shard.
 func (g *Gateway) ecApplyFull(p *sim.Proc, pool *Pool, oid string, data []byte, extraMeta *store.Txn) error {
 	cost := g.c.cost
 	primary, err := g.ecPrimary(pool, oid)
@@ -185,18 +243,20 @@ func (g *Gateway) ecApplyFull(p *sim.Proc, pool *Pool, oid string, data []byte, 
 	}
 	pg := g.c.PGOf(pool, oid)
 	want := g.c.want(pool, pg)
-	if len(g.c.acting(pool, pg)) < pool.Red.K {
-		return ErrNoOSD // cannot maintain durability below k
-	}
 	key := store.Key{Pool: pool.ID, OID: oid}
+	applied := make(map[int]bool, len(want))
+	degraded := false
 	var sigs []*sim.Signal
 	for pos, target := range want {
 		if pos >= len(shards) {
 			break
 		}
-		if up, ok := g.c.cmap.Lookup(target.id); !ok || !up.Up {
+		up, ok := g.c.cmap.Lookup(target.id)
+		if !ok || !up.Up || !target.alive {
+			degraded = true
 			continue // degraded write; recovery will rebuild this shard
 		}
+		applied[target.id] = true
 		target, pos := target, pos
 		txn := store.NewTxn().
 			WriteFull(shards[pos]).
@@ -217,6 +277,10 @@ func (g *Gateway) ecApplyFull(p *sim.Proc, pool *Pool, oid string, data []byte, 
 		}))
 	}
 	sim.WaitAll(p, sigs...)
+	if degraded {
+		g.c.reg.Counter("rados_degraded_writes_total").Inc()
+	}
+	g.c.reconcileMissed(key, applied)
 	p.Sleep(cost.NetLatency)
 	return nil
 }
@@ -232,7 +296,7 @@ func (g *Gateway) ecWrite(p *sim.Proc, pool *Pool, oid string, off int64, data [
 	l.Acquire(p)
 	defer l.Release(p)
 	cost := g.c.cost
-	primary, err := g.ecPrimary(pool, oid)
+	primary, err := g.ecWritePrimary(p, pool, oid)
 	if err != nil {
 		g.noteOp(0)
 		return err
@@ -280,19 +344,49 @@ func (g *Gateway) ecWrite(p *sim.Proc, pool *Pool, oid string, off int64, data [
 	}
 
 	want := g.c.want(pool, pg)
-	if len(g.c.acting(pool, pg)) < k {
-		g.noteOp(0)
-		return ErrNoOSD
-	}
 	key := store.Key{Pool: pool.ID, OID: oid}
+	eligible := func(pos int, target *osd) bool {
+		if up, ok := g.c.cmap.Lookup(target.id); !ok || !up.Up || !target.alive {
+			return false
+		}
+		if oldLen > 0 {
+			// A partial row write can only be applied onto the matching
+			// existing shard. A target whose shard is absent (wiped after a
+			// restart) or carries another index (remap permutation) would be
+			// corrupted by it; skip and let recovery rebuild.
+			if !target.store.Exists(key) ||
+				int(getU64(mustXattr(target.store, key, xattrECIdx))) != pos {
+				return false
+			}
+		}
+		return true
+	}
+	nEligible := 0
+	for pos, target := range want {
+		if pos < len(shards) && eligible(pos, target) {
+			nEligible++
+		}
+	}
+	if nEligible < k {
+		// Too few intact shard targets to keep the new rows reconstructable;
+		// refuse (retryably) rather than lose data. Recovery or the failure
+		// detector will restore enough targets.
+		g.timeoutWait(p)
+		g.noteOp(0)
+		return ErrOSDDown
+	}
+	applied := make(map[int]bool, len(want))
+	degraded := false
 	var sigs []*sim.Signal
 	for pos, target := range want {
 		if pos >= len(shards) {
 			break
 		}
-		if up, ok := g.c.cmap.Lookup(target.id); !ok || !up.Up {
+		if !eligible(pos, target) {
+			degraded = true
 			continue
 		}
+		applied[target.id] = true
 		target, pos := target, pos
 		txn := store.NewTxn().
 			Write(int64(row0)*StripeUnit, shards[pos]).
@@ -318,6 +412,10 @@ func (g *Gateway) ecWrite(p *sim.Proc, pool *Pool, oid string, off int64, data [
 		}))
 	}
 	sim.WaitAll(p, sigs...)
+	if degraded {
+		g.c.reg.Counter("rados_degraded_writes_total").Inc()
+	}
+	g.c.reconcileMissed(key, applied)
 	p.Sleep(cost.NetLatency)
 	g.noteOp(len(data))
 	return nil
@@ -335,14 +433,20 @@ func (g *Gateway) ecDelete(p *sim.Proc, pool *Pool, oid string) error {
 	l := g.c.pgLock(pg)
 	l.Acquire(p)
 	defer l.Release(p)
+	if _, err := g.ecWritePrimary(p, pool, oid); err != nil {
+		g.noteOp(0)
+		return err
+	}
 	cost := g.c.cost
 	key := store.Key{Pool: pool.ID, OID: oid}
+	applied := make(map[int]bool)
 	var sigs []*sim.Signal
 	for _, o := range g.c.want(pool, pg) {
 		o := o
-		if up, ok := g.c.cmap.Lookup(o.id); !ok || !up.Up {
+		if up, ok := g.c.cmap.Lookup(o.id); !ok || !up.Up || !o.alive {
 			continue
 		}
+		applied[o.id] = true
 		sigs = append(sigs, p.Go("ec-del", func(q *sim.Proc) {
 			q.Sleep(cost.NetLatency)
 			o.host.cpu.Use(q, cost.OpOverhead)
@@ -351,6 +455,9 @@ func (g *Gateway) ecDelete(p *sim.Proc, pool *Pool, oid string) error {
 		}))
 	}
 	sim.WaitAll(p, sigs...)
+	// Deletion must also reach strays and be remembered against dead
+	// holders, or the object would resurrect when they rejoin.
+	g.c.reconcileMissed(key, applied)
 	p.Sleep(cost.NetLatency)
 	g.noteOp(0)
 	return nil
@@ -390,6 +497,14 @@ func (g *Gateway) ecGather(p *sim.Proc, pool *Pool, oid string, off, length int6
 		if g.ecExists(pool, oid) {
 			return nil, nil
 		}
+		// No live holder. If dead OSDs still hold current shards the object
+		// is recoverable — report retryable unavailability, not absence.
+		key := store.Key{Pool: pool.ID, OID: oid}
+		for _, o := range g.c.want(pool, g.c.PGOf(pool, oid)) {
+			if !o.alive && o.store.Exists(key) && !g.c.missed[o.id][key] {
+				return nil, ErrOSDDown
+			}
+		}
 		return nil, ErrNotFound
 	}
 	if length < 0 || off+length > totalLen {
@@ -399,7 +514,7 @@ func (g *Gateway) ecGather(p *sim.Proc, pool *Pool, oid string, off, length int6
 		return nil, nil
 	}
 	holders := g.c.ecHolders(pool, oid)
-	primary, err := g.ecPrimary(pool, oid)
+	primary, err := g.ecCoord(p, pool, oid)
 	if err != nil {
 		return nil, err
 	}
@@ -449,6 +564,14 @@ func (g *Gateway) ecGather(p *sim.Proc, pool *Pool, oid string, off, length int6
 			}
 		}
 		if got < k {
+			// Shards may come back when dead holders restart or recovery
+			// rebuilds them — retryable while that is possible.
+			key := store.Key{Pool: pool.ID, OID: oid}
+			for _, o := range g.c.want(pool, g.c.PGOf(pool, oid)) {
+				if !o.alive && o.store.Exists(key) && !g.c.missed[o.id][key] {
+					return nil, ErrOSDDown
+				}
+			}
 			return nil, ec.ErrTooFew
 		}
 		sim.WaitAll(p, sigs...)
@@ -456,6 +579,7 @@ func (g *Gateway) ecGather(p *sim.Proc, pool *Pool, oid string, off, length int6
 		if err := codec.Reconstruct(segments); err != nil {
 			return nil, err
 		}
+		g.c.reg.Counter("rados_degraded_reads_total").Inc()
 	}
 	return stripeJoin(segments[:k], k, row0, off, length, totalLen), nil
 }
@@ -469,8 +593,7 @@ func (g *Gateway) ecRead(p *sim.Proc, pool *Pool, oid string, off, length int64)
 		g.noteOp(0)
 		return nil, err
 	}
-	primary, perr := g.ecPrimary(pool, oid)
-	if perr == nil {
+	if primary := g.firstAliveActing(pool, oid); primary != nil {
 		primary.host.cpu.Use(p, g.c.cost.OpOverhead)
 		g.c.netSend(p, primary.host.nic, len(data))
 	}
@@ -531,7 +654,7 @@ func (g *Gateway) ecMutate(p *sim.Proc, pool *Pool, oid string, payload int, fn 
 	l := g.c.pgLock(pg)
 	l.Acquire(p)
 	defer l.Release(p)
-	primary, err := g.ecPrimary(pool, oid)
+	primary, err := g.ecWritePrimary(p, pool, oid)
 	if err != nil {
 		g.noteOp(0)
 		return err
@@ -576,12 +699,15 @@ func (g *Gateway) ecMutate(p *sim.Proc, pool *Pool, oid string, payload int, fn 
 	}
 	if isDelete {
 		key := store.Key{Pool: pool.ID, OID: oid}
+		applied := make(map[int]bool)
 		for _, o := range g.c.want(pool, pg) {
-			if up, ok := g.c.cmap.Lookup(o.id); ok && up.Up {
+			if up, ok := g.c.cmap.Lookup(o.id); ok && up.Up && o.alive {
+				applied[o.id] = true
 				_ = o.store.Apply(key, store.NewTxn().Delete())
 				o.diskWrite(p, g.c.cost, 0)
 			}
 		}
+		g.c.reconcileMissed(key, applied)
 		p.Sleep(g.c.cost.NetLatency)
 		g.noteOp(0)
 		return nil
@@ -593,12 +719,14 @@ func (g *Gateway) ecMutate(p *sim.Proc, pool *Pool, oid string, payload int, fn 
 	}
 	// Metadata-only: mirror to all live shard holders.
 	key := store.Key{Pool: pool.ID, OID: oid}
+	applied := make(map[int]bool)
 	var sigs []*sim.Signal
 	for _, o := range g.c.ecHolders(pool, oid) {
 		if o == nil {
 			continue
 		}
 		o := o
+		applied[o.id] = true
 		sigs = append(sigs, p.Go("ec-meta", func(q *sim.Proc) {
 			q.Sleep(g.c.cost.NetLatency)
 			o.host.cpu.Use(q, g.c.cost.OpOverhead)
@@ -613,6 +741,7 @@ func (g *Gateway) ecMutate(p *sim.Proc, pool *Pool, oid string, payload int, fn 
 		return ErrNotFound
 	}
 	sim.WaitAll(p, sigs...)
+	g.c.reconcileMissed(key, applied)
 	p.Sleep(g.c.cost.NetLatency)
 	g.noteOp(meta.Bytes())
 	return nil

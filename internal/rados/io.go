@@ -173,24 +173,90 @@ func (g *Gateway) read(p *sim.Proc, pool *Pool, oid string, off, length int64) (
 	if pool.Red.Kind == Erasure {
 		return g.ecRead(p, pool, oid, off, length)
 	}
-	primary, _, unlock, err := g.prepare(p, pool, oid, false)
-	if err != nil {
-		return nil, err
-	}
-	defer unlock()
-	key := store.Key{Pool: pool.ID, OID: oid}
-	p.Sleep(g.c.cost.NetLatency) // request
-	primary.host.cpu.Use(p, g.c.cost.OpOverhead)
-	data, err := primary.store.Read(key, off, length)
+	serving, err := g.servingOSD(p, pool, oid)
 	if err != nil {
 		g.noteOp(0)
 		return nil, err
 	}
-	primary.diskRead(p, g.c.cost, len(data))
-	g.c.netSend(p, primary.host.nic, len(data))
+	key := store.Key{Pool: pool.ID, OID: oid}
+	p.Sleep(g.c.cost.NetLatency) // request
+	serving.host.cpu.Use(p, g.c.cost.OpOverhead)
+	data, err := serving.store.Read(key, off, length)
+	if err != nil {
+		g.noteOp(0)
+		return nil, err
+	}
+	serving.diskRead(p, g.c.cost, len(data))
+	g.c.netSend(p, serving.host.nic, len(data))
 	g.c.netSend(p, g.nic, len(data))
 	g.noteOp(len(data))
 	return data, nil
+}
+
+// timeoutWait charges the request timeout an op pays before concluding its
+// target OSD is dead.
+func (g *Gateway) timeoutWait(p *sim.Proc) {
+	p.Sleep(g.c.reqTimeout)
+	g.c.reg.Counter("rados_requests_timed_out_total").Inc()
+}
+
+// servingOSD selects the OSD that serves a read-type op on a replicated
+// object. The acting primary serves when it is alive and holds the object;
+// if the primary's process is dead (crashed but not yet marked down) the op
+// pays the request timeout and fails over to a surviving replica — the
+// degraded-read path. During the post-remap window an object may not have
+// reached the new acting set yet, in which case any live in-map holder of
+// the current copy serves. Only if the sole copies sit on dead OSDs does
+// the op fail, with the retryable ErrOSDDown.
+func (g *Gateway) servingOSD(p *sim.Proc, pool *Pool, oid string) (*osd, error) {
+	acting := g.c.acting(pool, g.c.PGOf(pool, oid))
+	if len(acting) == 0 {
+		return nil, ErrNoOSD
+	}
+	key := store.Key{Pool: pool.ID, OID: oid}
+	if acting[0].alive && acting[0].store.Exists(key) {
+		return acting[0], nil
+	}
+	if !acting[0].alive {
+		g.timeoutWait(p) // request to the dead primary times out first
+	}
+	for _, o := range acting[1:] {
+		if o.alive && o.store.Exists(key) {
+			g.c.reg.Counter("rados_degraded_reads_total").Inc()
+			return o, nil
+		}
+	}
+	// Post-remap window: recovery has not yet copied the object into the new
+	// acting set, but a live in-map OSD still holds the current copy.
+	for _, id := range g.c.cmap.OSDs() {
+		o := g.c.osds[id]
+		if o == nil || !o.alive || !o.store.Exists(key) {
+			continue
+		}
+		if info, ok := g.c.cmap.Lookup(id); !ok || !info.Up || !info.In {
+			continue
+		}
+		g.c.reg.Counter("rados_degraded_reads_total").Inc()
+		return o, nil
+	}
+	// No live copy. If a dead OSD holds one that is not known-stale, the
+	// object will come back when that OSD restarts or recovery rebuilds it:
+	// retryable, not not-found.
+	for _, id := range g.c.cmap.OSDs() {
+		o := g.c.osds[id]
+		if o != nil && !o.alive && o.store.Exists(key) && !g.c.missed[id][key] {
+			return nil, ErrOSDDown
+		}
+	}
+	if acting[0].alive {
+		return acting[0], nil // absent object: primary reports not-found
+	}
+	for _, o := range acting[1:] {
+		if o.alive {
+			return o, nil
+		}
+	}
+	return nil, ErrOSDDown
 }
 
 // Stat returns the object size.
@@ -333,7 +399,11 @@ func (g *Gateway) mutateWithPayload(p *sim.Proc, pool *Pool, oid string, payload
 
 // --- Internal plumbing -------------------------------------------------------
 
-// prepare resolves placement and (optionally) acquires the PG lock.
+// prepare resolves placement and (optionally) acquires the PG lock. With
+// lock set (the mutation path) it additionally verifies the acting primary
+// is alive — a mutation against a dead primary pays the request timeout and
+// fails with the retryable ErrOSDDown — and pulls the object to a
+// freshly-remapped primary that does not hold it yet.
 func (g *Gateway) prepare(p *sim.Proc, pool *Pool, oid string, lock bool) (primary *osd, pg crush.PG, unlock func(), err error) {
 	pg = g.c.PGOf(pool, oid)
 	acting := g.c.acting(pool, pg)
@@ -345,8 +415,55 @@ func (g *Gateway) prepare(p *sim.Proc, pool *Pool, oid string, lock bool) (prima
 		l := g.c.pgLock(pg)
 		l.Acquire(p)
 		unlock = func() { l.Release(p) }
+		if !acting[0].alive {
+			g.timeoutWait(p)
+			unlock()
+			return nil, pg, nil, ErrOSDDown
+		}
+		g.pullOnDemand(p, pool, oid, acting[0])
 	}
 	return acting[0], pg, unlock, nil
+}
+
+// pullOnDemand restores an object at a freshly-remapped primary before a
+// mutation runs against it: if the primary lacks the object but another
+// live in-map OSD still holds the current copy (the PG moved and Recover
+// has not caught up yet), the primary pulls it first — Ceph's
+// recover-on-demand for ops hitting a degraded object. Without this, a
+// partial write or chunk-map update at the new primary would silently
+// recreate the object from nothing. Caller holds the PG lock.
+func (g *Gateway) pullOnDemand(p *sim.Proc, pool *Pool, oid string, primary *osd) {
+	key := store.Key{Pool: pool.ID, OID: oid}
+	if primary.store.Exists(key) {
+		return
+	}
+	var src *osd
+	for _, id := range g.c.cmap.OSDs() {
+		o := g.c.osds[id]
+		if o == nil || o == primary || !o.alive || !o.store.Exists(key) {
+			continue
+		}
+		if info, ok := g.c.cmap.Lookup(id); !ok || !info.Up || !info.In {
+			continue
+		}
+		src = o
+		break
+	}
+	if src == nil {
+		return
+	}
+	snap, err := src.store.Snapshot(key)
+	if err != nil {
+		return
+	}
+	n := objBytes(snap)
+	cost := g.c.cost
+	src.diskRead(p, cost, n)
+	g.c.netSend(p, primary.host.nic, n)
+	primary.host.cpu.Use(p, cost.OpOverhead)
+	primary.store.Install(key, snap)
+	primary.diskWrite(p, cost, n)
+	g.c.reg.Counter("rados_ondemand_pulls_total").Inc()
 }
 
 // applyTxn transfers the payload to the primary and replicates the txn.
@@ -365,7 +482,11 @@ func (g *Gateway) applyTxn(p *sim.Proc, pool *Pool, oid string, txn *store.Txn, 
 
 // replicate applies txn at the primary and fans out to replicas, returning
 // after all replicas ack (primary-copy replication). Caller holds the PG
-// lock.
+// lock. Crashed acting members are skipped (a degraded write) and their
+// missed update recorded so they re-sync before serving again; a replica
+// that rejoined after missing earlier updates is healed with a full copy of
+// the primary's post-txn state instead of applying a transaction its stale
+// object cannot absorb.
 func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn, payload int) error {
 	pg := g.c.PGOf(pool, oid)
 	acting := g.c.acting(pool, pg)
@@ -373,13 +494,20 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 		return ErrNoOSD
 	}
 	primary := acting[0]
+	if !primary.alive {
+		g.timeoutWait(p)
+		return ErrOSDDown
+	}
 	key := store.Key{Pool: pool.ID, OID: oid}
 	cost := g.c.cost
 
+	existedBefore := primary.store.Exists(key)
 	primary.host.cpu.Use(p, cost.OpOverhead+cost.Checksum(payload))
 	if err := primary.store.Apply(key, txn); err != nil {
 		return err
 	}
+	applied := map[int]bool{primary.id: true}
+	degraded := false
 	sigs := make([]*sim.Signal, 0, len(acting))
 	sigs = append(sigs, p.Go("journal", func(q *sim.Proc) {
 		jsp := g.c.sink.Start(q, "rados.journal").SetOp(pool.Name, pg.String(), int64(txn.Bytes()))
@@ -388,18 +516,41 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 	}))
 	for _, r := range acting[1:] {
 		r := r
+		if !r.alive {
+			degraded = true
+			continue
+		}
+		applied[r.id] = true
 		sigs = append(sigs, p.Go("replica", func(q *sim.Proc) {
 			rsp := g.c.sink.Start(q, "rados.replica").SetOp(pool.Name, pg.String(), int64(payload))
+			defer rsp.Finish(q)
 			g.c.netSend(q, r.host.nic, payload)
 			r.host.cpu.Use(q, cost.OpOverhead)
+			if existedBefore && !r.store.Exists(key) {
+				// The replica missed earlier updates (its stale copy was
+				// wiped on restart): heal with a full copy of the primary's
+				// post-txn state. If the txn deleted the object the snapshot
+				// fails and the plain apply below is a safe no-op delete.
+				if snap, err := primary.store.Snapshot(key); err == nil {
+					n := objBytes(snap)
+					g.c.netSend(q, r.host.nic, n)
+					r.store.Install(key, snap)
+					r.diskWrite(q, cost, n)
+					g.c.reg.Counter("rados_replica_heals_total").Inc()
+					return
+				}
+			}
 			if err := r.store.Apply(key, txn); err != nil {
 				panic(fmt.Sprintf("rados: replica apply diverged: %v", err))
 			}
 			r.diskWrite(q, cost, txn.Bytes())
-			rsp.Finish(q)
 		}))
 	}
 	sim.WaitAll(p, sigs...)
+	if degraded {
+		g.c.reg.Counter("rados_degraded_writes_total").Inc()
+	}
+	g.c.reconcileMissed(key, applied)
 	p.Sleep(cost.NetLatency) // ack to client
 	return nil
 }
@@ -408,13 +559,36 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 // separate round trip. It models a server-side sub-step of an enclosing
 // operation (e.g. the dedup read path's chunk-map lookup, §4.5 read step 3,
 // which the primary performs while handling the read) — the enclosing op's
-// OpOverhead covers it.
+// OpOverhead covers it. When the primary is dead the xattr is served from a
+// surviving holder; untimed, because the enclosing op already paid the
+// failover timeout when it selected its serving OSD.
 func (g *Gateway) PeekXattr(pool *Pool, oid, name string) ([]byte, error) {
 	acting := g.c.acting(pool, g.c.PGOf(pool, oid))
 	if len(acting) == 0 {
 		return nil, ErrNoOSD
 	}
-	return acting[0].store.GetXattr(store.Key{Pool: pool.ID, OID: oid}, name)
+	key := store.Key{Pool: pool.ID, OID: oid}
+	for _, o := range acting {
+		if o.alive && o.store.Exists(key) {
+			return o.store.GetXattr(key, name)
+		}
+	}
+	for _, id := range g.c.cmap.OSDs() {
+		o := g.c.osds[id]
+		if o == nil || !o.alive || !o.store.Exists(key) {
+			continue
+		}
+		if info, ok := g.c.cmap.Lookup(id); !ok || !info.Up || !info.In {
+			continue
+		}
+		return o.store.GetXattr(key, name)
+	}
+	for _, o := range acting {
+		if o.alive {
+			return o.store.GetXattr(key, name) // absent object: not-found
+		}
+	}
+	return nil, ErrOSDDown
 }
 
 // ClientXfer charges the client-side link for n bytes delivered to this
@@ -445,16 +619,16 @@ func (c *Cluster) UseHostCPU(p *sim.Proc, hostName string, d time.Duration) erro
 	return nil
 }
 
-// metaOp charges the fixed cost of a small metadata read at the primary.
+// metaOp charges the fixed cost of a small metadata read at the OSD serving
+// the object (the primary, or a surviving replica when it is dead).
 func (g *Gateway) metaOp(p *sim.Proc, pool *Pool, oid string) (*osd, error) {
-	primary, _, unlock, err := g.prepare(p, pool, oid, false)
+	serving, err := g.servingOSD(p, pool, oid)
 	if err != nil {
 		return nil, err
 	}
-	defer unlock()
 	p.Sleep(g.c.cost.NetLatency)
-	primary.host.cpu.Use(p, g.c.cost.OpOverhead)
-	primary.diskRead(p, g.c.cost, 512)
+	serving.host.cpu.Use(p, g.c.cost.OpOverhead)
+	serving.diskRead(p, g.c.cost, 512)
 	p.Sleep(g.c.cost.NetLatency)
-	return primary, nil
+	return serving, nil
 }

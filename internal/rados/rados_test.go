@@ -413,8 +413,10 @@ func TestRecoveryReplicated(t *testing.T) {
 			}
 		}
 	})
-	e.c.FailOSD(3)
-	if err := e.c.ReplaceOSD(3); err != nil {
+	if err := e.c.FailOSD(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.c.ReplaceOSD(3); err != nil {
 		t.Fatal(err)
 	}
 	var stats RecoveryStats
@@ -460,8 +462,12 @@ func TestRecoveryEC(t *testing.T) {
 			}
 		}
 	})
-	e.c.FailOSD(7)
-	e.c.ReplaceOSD(7)
+	if err := e.c.FailOSD(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.c.ReplaceOSD(7); err != nil {
+		t.Fatal(err)
+	}
 	var stats RecoveryStats
 	e.run(t, func(p *sim.Proc) { stats = e.c.Recover(p, 4) })
 	_ = stats

@@ -14,24 +14,59 @@ import (
 // objects and chunk objects exactly as for any other object, which is the
 // paper's "storage features can be reused" claim, demonstrated by Table 3.
 
-// FailOSD marks an OSD down and out: its PGs remap and it stops serving.
-func (c *Cluster) FailOSD(id int) {
+// FailOSD administratively marks an OSD down and out: its PGs remap and it
+// stops serving. Unlike CrashOSD there is no detection window — this is the
+// operator's `ceph osd out`.
+func (c *Cluster) FailOSD(id int) error {
+	if _, ok := c.osds[id]; !ok {
+		return fmt.Errorf("rados: unknown osd %d", id)
+	}
 	c.cmap.SetUp(id, false)
 	c.cmap.SetIn(id, false)
+	return nil
 }
 
 // ReplaceOSD simulates the paper's Table 3 procedure ("removing and
 // re-adding the OSD"): the OSD returns empty (fresh device) at the same
-// CRUSH position, and recovery must re-fill it.
-func (c *Cluster) ReplaceOSD(id int) error {
+// CRUSH position, and recovery must re-fill it. It reports whether recovery
+// work is still pending — i.e. whether any surviving OSD holds objects whose
+// placement includes the fresh device — so callers know a Recover run is
+// required before redundancy is restored.
+func (c *Cluster) ReplaceOSD(id int) (recoveryPending bool, err error) {
 	o, ok := c.osds[id]
 	if !ok {
-		return fmt.Errorf("rados: unknown osd %d", id)
+		return false, fmt.Errorf("rados: unknown osd %d", id)
 	}
 	o.store.Clear()
+	delete(c.missed, id) // fresh device: nothing stale left to wipe
+	o.alive = true
 	c.cmap.SetUp(id, true)
 	c.cmap.SetIn(id, true)
-	return nil
+	return c.recoveryPendingFor(id), nil
+}
+
+// recoveryPendingFor reports whether any object held by a live up OSD maps
+// onto OSD id under the current CRUSH map while id itself lacks it.
+func (c *Cluster) recoveryPendingFor(id int) bool {
+	fresh := c.osds[id]
+	for _, sid := range c.cmap.UpOSDs() {
+		src := c.osds[sid]
+		if src == nil || src == fresh || !src.alive {
+			continue
+		}
+		for _, key := range src.store.Keys() {
+			pool := c.poolsByID[key.Pool]
+			if pool == nil {
+				continue
+			}
+			for _, w := range c.want(pool, c.PGOf(pool, key.OID)) {
+				if w == fresh && !fresh.store.Exists(key) {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // RecoveryStats reports one Recover run.
@@ -75,6 +110,9 @@ func (c *Cluster) Recover(p *sim.Proc, streamsPerOSD int) RecoveryStats {
 	holders := make(map[store.Key][]holderInfo)
 	for _, id := range c.cmap.UpOSDs() {
 		o := c.osds[id]
+		if !o.alive {
+			continue // a crashed OSD can neither source nor report holdings
+		}
 		for _, key := range o.store.Keys() {
 			idx := -1
 			if pool := c.poolsByID[key.Pool]; pool != nil && pool.Red.Kind == Erasure {
@@ -118,7 +156,7 @@ func (c *Cluster) Recover(p *sim.Proc, streamsPerOSD int) RecoveryStats {
 		}
 		up := func(o *osd) bool {
 			info, ok := c.cmap.Lookup(o.id)
-			return ok && info.Up && info.In
+			return ok && info.Up && info.In && o.alive
 		}
 
 		if pool.Red.Kind == Replicated {
@@ -272,7 +310,7 @@ func (c *Cluster) rebuildShard(q *sim.Proc, t recoveryTask, stats *RecoveryStats
 	var srcs []src
 	for _, id := range c.cmap.UpOSDs() {
 		o := c.osds[id]
-		if o == t.dst || !o.store.Exists(t.key) {
+		if o == t.dst || !o.alive || !o.store.Exists(t.key) {
 			continue
 		}
 		idx := int(getU64(mustXattr(o.store, t.key, xattrECIdx)))

@@ -189,6 +189,15 @@ func (e *Engine) GoAt(at Time, name string, fn func(p *Proc)) *Signal {
 	return e.goAt(at, name, fn, e.cur != nil && e.cur.daemon)
 }
 
+// GoForeground spawns fn as a non-daemon process even when the spawner is a
+// daemon. A background service (heartbeat monitor, fault injector) uses it
+// for work that must complete before Run returns — e.g. the recovery a
+// failure detector triggers — without the service itself keeping the
+// simulation alive between ticks.
+func (e *Engine) GoForeground(name string, fn func(p *Proc)) *Signal {
+	return e.goAt(e.now, name, fn, false)
+}
+
 func (e *Engine) goAt(at Time, name string, fn func(p *Proc), daemon bool) *Signal {
 	p := &Proc{e: e, name: name, resume: make(chan struct{}), done: NewSignal(), daemon: daemon}
 	if e.cur != nil {
