@@ -1,5 +1,5 @@
 # Tier-1 verification: everything a PR must keep green.
-.PHONY: verify build test vet race check-tests bench
+.PHONY: verify build test vet race check-tests bench golden golden-write bench-json fmt-check
 
 verify: vet build test check-tests
 
@@ -12,9 +12,10 @@ build:
 test:
 	go test ./...
 
-# Concurrency-sensitive packages under the race detector.
+# Concurrency-sensitive packages under the race detector (includes the
+# experiment harness's worker pool).
 race:
-	go test -race ./internal/metrics ./internal/sim ./internal/rados ./internal/core ./internal/chaos
+	go test -race ./internal/metrics ./internal/sim ./internal/rados ./internal/core ./internal/chaos ./internal/harness
 
 # Every internal package must ship tests.
 check-tests:
@@ -22,3 +23,21 @@ check-tests:
 
 bench:
 	go test -bench=. -benchmem
+
+# Fail if any file needs gofmt (same check CI runs).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Golden regression gate: re-run the sweep at the snapshot scale and fail
+# with a per-cell diff on any drift. CI runs exactly this target.
+golden:
+	go run ./cmd/dedupbench -scale 0.25 -results '' -golden check all
+
+# Regenerate the snapshots after an intentional, reviewed number shift.
+golden-write:
+	go run ./cmd/dedupbench -scale 0.25 -results '' -golden write all
+
+# Machine-readable sweep: canonical JSON per experiment plus a wall-clock
+# summary; CI uploads results/ as an artifact.
+bench-json:
+	go run ./cmd/dedupbench -scale 0.25 -results results -timing results/BENCH_pr.json all

@@ -3,114 +3,200 @@
 //
 // Usage:
 //
-//	dedupbench [-scale f] [-trace[=N]] [experiment ...]
+//	dedupbench [flags] [experiment ...]
 //
 // Experiments: fig3 table1 fig5a fig5b fig10 fig11 table2 fig12 table3
-// fig13 fig14 ablation (or "all", the default). -trace prints the N slowest
-// op spans after each experiment (default 10) with queue-wait vs. service
-// breakdowns per resource; flags may appear after experiment names
-// (`dedupbench fig10 -trace`).
+// fig13 fig14 chaos ablation (or "all", the default).
+//
+// The sweep runs across a bounded worker pool (-workers, default
+// GOMAXPROCS; every experiment owns an isolated deterministic sim, so
+// stdout is byte-identical to a sequential -workers 1 run). Tables go to
+// stdout; per-experiment wall-clock lines and the final timing table go to
+// stderr so machine-diffed output stays deterministic.
+//
+// Each experiment also writes a canonical JSON result to results/<name>.json
+// (-results, empty to disable). -golden write|check snapshots those results
+// under testdata/golden and fails with a per-cell diff on drift. -trace
+// prints the N slowest op spans after each experiment (bare -trace = 10).
+// -cpuprofile/-memprofile write pprof profiles of the sweep; -metrics dumps
+// the harness's wall-clock metrics registry. Flags may appear after
+// experiment names (`dedupbench fig10 -trace`).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"dedupstore/internal/experiments"
+	"dedupstore/internal/harness"
+	"dedupstore/internal/metrics"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default scaled sizes; <1 faster)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	trace := flag.Int("trace", 0, "print the N slowest trace spans after each experiment (bare -trace = 10)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; 1 = sequential)")
+	golden := flag.String("golden", "", "golden snapshot mode: 'write' to (re)generate, 'check' to diff and fail on drift")
+	goldenDir := flag.String("goldendir", "testdata/golden", "directory holding golden snapshots")
+	results := flag.String("results", "results", "directory for canonical JSON results (empty = don't write)")
+	timing := flag.String("timing", "", "write a JSON wall-clock summary to this path")
+	dumpMetrics := flag.Bool("metrics", false, "dump the harness metrics registry to stderr after the sweep")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the sweep to this path")
 	flag.CommandLine.Parse(reorderArgs(os.Args[1:]))
 
-	sc := experiments.Scale{Data: *scale}
-
-	runners := map[string]func(experiments.Scale) []experiments.Table{
-		"fig3": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Fig3Table(experiments.Fig3(sc))}
-		},
-		"table1": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Table1Table(experiments.Table1(sc))}
-		},
-		"fig5a": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Fig5aTable(experiments.Fig5a(sc))}
-		},
-		"fig5b": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Fig5bTable(experiments.Fig5b(sc))}
-		},
-		"fig10": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Fig10Table(experiments.Fig10(sc))}
-		},
-		"fig11": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Fig11Table(experiments.Fig11(sc))}
-		},
-		"table2": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Table2Table(experiments.Table2(sc))}
-		},
-		"fig12": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Fig12Table(experiments.Fig12(sc))}
-		},
-		"table3": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Table3Table(experiments.Table3(sc))}
-		},
-		"fig13": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Fig13Table(experiments.Fig13(sc))}
-		},
-		"fig14": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{experiments.Fig14Table(experiments.Fig14(sc))}
-		},
-		"chaos": func(sc experiments.Scale) []experiments.Table {
-			return experiments.ChaosTables(experiments.Chaos(sc))
-		},
-		"ablation": func(sc experiments.Scale) []experiments.Table {
-			return []experiments.Table{
-				experiments.AblationChunkingTable(experiments.AblationChunking(sc)),
-				experiments.AblationCDCStoreTable(experiments.AblationCDCStore(sc)),
-				experiments.AblationBackupTable(experiments.AblationBackup(sc)),
-				experiments.AblationRefcountTable(experiments.AblationRefcount(sc)),
-				experiments.AblationCacheTable(experiments.AblationCache(sc)),
-			}
-		},
-	}
-	order := []string{"fig3", "table1", "fig5a", "fig5b", "fig10", "fig11", "table2", "fig12", "table3", "fig13", "fig14", "chaos", "ablation"}
-
+	valid := experiments.Names()
 	if *list {
-		fmt.Println(strings.Join(order, " "))
-		return
+		fmt.Println(strings.Join(valid, " "))
+		return 0
+	}
+	if *golden != "" && *golden != "write" && *golden != "check" {
+		fmt.Fprintf(os.Stderr, "dedupbench: -golden must be 'write' or 'check', got %q\n", *golden)
+		return 2
 	}
 
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
-		names = order
+		names = valid
 	}
-	sort.SliceStable(names, func(i, j int) bool { return indexOf(order, names[i]) < indexOf(order, names[j]) })
-
+	var exps []experiments.Experiment
 	for _, name := range names {
-		runner, ok := runners[name]
+		exp, ok := experiments.Lookup(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "dedupbench: unknown experiment %q (use -list)\n", name)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "dedupbench: unknown experiment %q\nvalid experiments: %s (or \"all\")\n",
+				name, strings.Join(valid, " "))
+			return 2
 		}
-		start := time.Now()
-		for _, tab := range runner(sc) {
-			fmt.Print(tab)
-		}
-		if *trace > 0 {
-			if rep := experiments.TraceReport(*trace); rep != "" {
-				fmt.Print(rep)
-			}
-		} else {
-			experiments.TraceReport(0) // reset the per-experiment sink list
-		}
-		fmt.Printf("[%s completed in %s wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+		exps = append(exps, exp)
 	}
+	sort.SliceStable(exps, func(i, j int) bool {
+		return indexOf(valid, exps[i].Name()) < indexOf(valid, exps[j].Name())
+	})
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	reg := metrics.NewRegistry()
+	opts := harness.Options{
+		Workers: *workers,
+		Scale:   experiments.Scale{Data: *scale},
+		TraceN:  *trace,
+		Metrics: reg,
+	}
+	effWorkers := opts.Workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	start := time.Now()
+	reports := harness.Run(exps, opts, func(rep harness.Report) {
+		if rep.Err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: %v\n", rep.Err)
+			return
+		}
+		fmt.Print(rep.Output)
+		if rep.Trace != "" {
+			fmt.Print(rep.Trace)
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %s wall time]\n", rep.Name, rep.Wall.Round(time.Millisecond))
+	})
+	total := time.Since(start)
+
+	failed := 0
+	for _, rep := range reports {
+		if rep.Err != nil {
+			failed++
+		}
+	}
+	fmt.Fprint(os.Stderr, harness.TimingTable(reports, effWorkers, total))
+
+	if *results != "" {
+		if err := harness.WriteResults(*results, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: writing results: %v\n", err)
+			return 1
+		}
+	}
+	if *timing != "" {
+		if err := harness.WriteTimingJSON(*timing, harness.Summarize(reports, effWorkers, total)); err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: writing timing summary: %v\n", err)
+			return 1
+		}
+	}
+	if *dumpMetrics {
+		fmt.Fprint(os.Stderr, reg.Dump())
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: %v\n", err)
+			return 1
+		}
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "dedupbench: %d experiment(s) failed\n", failed)
+		return 1
+	}
+
+	switch *golden {
+	case "write":
+		var ok []experiments.Result
+		for _, rep := range reports {
+			ok = append(ok, rep.Result)
+		}
+		if err := harness.WriteGolden(*goldenDir, ok); err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: writing golden snapshots: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d golden snapshot(s) to %s\n", len(ok), *goldenDir)
+	case "check":
+		var got []experiments.Result
+		for _, rep := range reports {
+			got = append(got, rep.Result)
+		}
+		diffs, err := harness.CheckGolden(*goldenDir, got)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: golden check: %v\n", err)
+			return 1
+		}
+		if len(diffs) > 0 {
+			fmt.Fprintf(os.Stderr, "golden check FAILED: %d difference(s) vs %s\n", len(diffs), *goldenDir)
+			for _, d := range diffs {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			fmt.Fprintln(os.Stderr, "if the shift is intentional, regenerate with: dedupbench -scale <same> -golden write <experiments>")
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "golden check ok: %d experiment(s) match %s\n", len(got), *goldenDir)
+	}
+	return 0
 }
 
 // reorderArgs lets flags appear after experiment names (Go's flag package
@@ -140,7 +226,7 @@ func reorderArgs(args []string) []string {
 						a = "-trace=" + args[i]
 					}
 				}
-			case "list", "h", "help":
+			case "list", "metrics", "h", "help":
 				// boolean flags take no value
 			default:
 				// value-taking flag (-scale 0.5): keep the pair together

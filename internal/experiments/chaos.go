@@ -78,7 +78,7 @@ func Chaos(sc Scale) []ChaosResult {
 
 func chaosRun(sc Scale, scn ChaosScenario, seed int64) ChaosResult {
 	res := ChaosResult{Scenario: scn.Name}
-	h := newHarness(seed, 4, 4)
+	h := sc.newHarness(seed, 4, 4)
 	s := h.dedupStore(func(cfg *core.Config) {
 		cfg.ChunkRedundancy = scn.Chunk
 		cfg.Rate.Enabled = false
@@ -316,4 +316,20 @@ func (r ChaosResult) Fingerprint() string {
 		r.ClientRetries, r.ReplicaHeals, r.RecoveredBytes,
 		r.ForegroundErrors, r.VerifyErrors, r.ScrubIssues, r.GCStaleRefs)
 	return s
+}
+
+// ChaosSeeded runs every scenario with a caller-chosen seed; the default
+// sweep and the harness's determinism tests both route through it.
+func ChaosSeeded(sc Scale, seed int64) []ChaosResult {
+	var out []ChaosResult
+	for _, scn := range DefaultChaosScenarios() {
+		out = append(out, chaosRun(sc, scn, seed))
+	}
+	return out
+}
+
+// ChaosSweepResult runs the default chaos sweep and packages it as a
+// machine-readable Result.
+func ChaosSweepResult(sc Scale) Result {
+	return Result{Name: "chaos", Tables: ChaosTables(Chaos(sc))}
 }

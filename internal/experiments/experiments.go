@@ -26,6 +26,11 @@ import (
 type Scale struct {
 	// Data multiplies dataset sizes (1.0 = the default scaled sizes).
 	Data float64
+
+	// capture, when set, collects the trace sinks of every harness this
+	// Scale builds, so concurrently running experiments keep their spans
+	// separate. Nil falls back to the process-global sink list.
+	capture *TraceCapture
 }
 
 // DefaultScale is used by the CLI.
@@ -67,31 +72,60 @@ type harness struct {
 	c   *rados.Cluster
 }
 
-// liveSinks accumulates the trace sink of every harness built since the
-// last TraceReport call, so the CLI can print per-experiment slow spans.
-var (
-	sinkMu    sync.Mutex
-	liveSinks []*metrics.TraceSink
-)
+// TraceCapture accumulates the trace sinks of every harness built through
+// one Scale, keeping span attribution correct when many experiments run
+// concurrently. The zero value is ready to use.
+type TraceCapture struct {
+	mu    sync.Mutex
+	sinks []*metrics.TraceSink
+}
 
-func newHarness(seed int64, hosts, osdsPerHost int, opts ...rados.Option) *harness {
+func (tc *TraceCapture) add(s *metrics.TraceSink) {
+	tc.mu.Lock()
+	tc.sinks = append(tc.sinks, s)
+	tc.mu.Unlock()
+}
+
+// Report drains the captured sinks and renders the n slowest spans,
+// queue-wait vs. service time broken out per resource.
+func (tc *TraceCapture) Report(n int) string {
+	tc.mu.Lock()
+	sinks := tc.sinks
+	tc.sinks = nil
+	tc.mu.Unlock()
+	return renderSlowest(sinks, n)
+}
+
+// WithTraceCapture returns a copy of s whose harnesses record their trace
+// sinks into a private capture instead of the process-global list.
+func (s Scale) WithTraceCapture() (Scale, *TraceCapture) {
+	tc := &TraceCapture{}
+	s.capture = tc
+	return s, tc
+}
+
+// globalSinks is the legacy process-wide capture, used by harnesses built
+// from a Scale without WithTraceCapture (tests, benches, direct callers).
+var globalSinks TraceCapture
+
+func (s Scale) newHarness(seed int64, hosts, osdsPerHost int, opts ...rados.Option) *harness {
 	eng := sim.New(seed)
 	c := rados.NewTestbed(eng, simcost.Default(), hosts, osdsPerHost, opts...)
-	sinkMu.Lock()
-	liveSinks = append(liveSinks, c.Trace())
-	sinkMu.Unlock()
+	tc := s.capture
+	if tc == nil {
+		tc = &globalSinks
+	}
+	tc.add(c.Trace())
 	return &harness{eng: eng, c: c}
 }
 
 // TraceReport merges the spans recorded by every harness built since the
-// previous call and renders the n slowest, queue-wait vs. service time
-// broken out per resource. The harness list is reset so successive
-// experiments report independently.
-func TraceReport(n int) string {
-	sinkMu.Lock()
-	sinks := liveSinks
-	liveSinks = nil
-	sinkMu.Unlock()
+// previous call (from Scales without a private capture) and renders the n
+// slowest. The sink list is reset so successive experiments report
+// independently.
+func TraceReport(n int) string { return globalSinks.Report(n) }
+
+func renderSlowest(sinks []*metrics.TraceSink, n int) string {
 	if n <= 0 {
 		return ""
 	}
@@ -177,12 +211,15 @@ func (h *harness) dedupDevice(name string, size int64, s *core.Store) *client.Bl
 
 // --- report formatting --------------------------------------------------------
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. The JSON form is canonical: field
+// order is fixed, cells are the exact strings the CLI prints, and nothing
+// wall-clock-dependent is included, so two runs at the same seed/scale
+// marshal byte-identically.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // String renders the table with aligned columns.

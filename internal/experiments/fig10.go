@@ -64,7 +64,7 @@ func Fig10(sc Scale) []Fig10Row {
 
 	// --- Original -------------------------------------------------------
 	{
-		h := newHarness(301, 4, 4)
+		h := sc.newHarness(301, 4, 4)
 		dev := h.rawDevice("img", span, 0, rados.ReplicatedN(2))
 		h.run(func(p *sim.Proc) { _ = workload.Prefill(p, dev, fioW) })
 		w := startCPUWindow(h)
@@ -78,7 +78,7 @@ func Fig10(sc Scale) []Fig10Row {
 
 	// --- Proposed (post-processing, engine + rate control active) --------
 	{
-		h := newHarness(302, 4, 4)
+		h := sc.newHarness(302, 4, 4)
 		s := h.dedupStore(func(cfg *core.Config) {
 			cfg.HitSet.HitCount = 1000 // measure the non-cached path
 		})
@@ -99,7 +99,7 @@ func Fig10(sc Scale) []Fig10Row {
 
 	// --- Proposed-flush (synchronous dedup on every write) ---------------
 	{
-		h := newHarness(303, 4, 4)
+		h := sc.newHarness(303, 4, 4)
 		s := h.dedupStore(func(cfg *core.Config) {
 			cfg.Mode = core.ModeFlushThrough
 			cfg.HitSet.HitCount = 1000
@@ -114,7 +114,7 @@ func Fig10(sc Scale) []Fig10Row {
 
 	// --- Proposed-cache (data stays in the metadata pool) ----------------
 	{
-		h := newHarness(304, 4, 4)
+		h := sc.newHarness(304, 4, 4)
 		s := h.dedupStore(func(cfg *core.Config) {
 			cfg.HitSet.HitCount = 1 // everything hot: nothing is flushed
 		})
@@ -171,7 +171,7 @@ func Fig11(sc Scale) []Fig11Row {
 		s    *core.Store
 	}
 	build := func(seed int64, dedup bool) *target {
-		h := newHarness(seed, 4, 4)
+		h := sc.newHarness(seed, 4, 4)
 		tg := &target{h: h}
 		if dedup {
 			tg.s = h.dedupStore(func(cfg *core.Config) {
@@ -272,4 +272,14 @@ func fmtInt(v int64) string {
 		v /= 10
 	}
 	return string(b[pos:])
+}
+
+// Fig10Result runs Fig10 and packages it as a machine-readable Result.
+func Fig10Result(sc Scale) Result {
+	return Result{Name: "fig10", Tables: []Table{Fig10Table(Fig10(sc))}}
+}
+
+// Fig11Result runs Fig11 and packages it as a machine-readable Result.
+func Fig11Result(sc Scale) Result {
+	return Result{Name: "fig11", Tables: []Table{Fig11Table(Fig11(sc))}}
 }

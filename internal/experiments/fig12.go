@@ -66,7 +66,7 @@ func Fig12(sc Scale) []Fig12Row {
 
 	var rows []Fig12Row
 	for i, st := range setups {
-		h := newHarness(610+int64(i), 4, 4)
+		h := sc.newHarness(610+int64(i), 4, 4)
 		dev, s := st.build(h)
 		h.run(func(p *sim.Proc) {
 			if err := workload.BuildSFSDataset(p, dev, sfsCfg); err != nil {
@@ -131,4 +131,9 @@ func Fig12Table(rows []Fig12Row) Table {
 		})
 	}
 	return t
+}
+
+// Fig12Result runs Fig12 and packages it as a machine-readable Result.
+func Fig12Result(sc Scale) Result {
+	return Result{Name: "fig12", Tables: []Table{Fig12Table(Fig12(sc))}}
 }

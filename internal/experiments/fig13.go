@@ -57,7 +57,7 @@ func Fig13(sc Scale) []Fig13Series {
 		if c.compress {
 			opts = append(opts, rados.WithStoreOptions(store.WithSizeFn(compressfs.Default())))
 		}
-		h := newHarness(810+int64(ci), 4, 4, opts...)
+		h := sc.newHarness(810+int64(ci), 4, 4, opts...)
 		series := Fig13Series{Label: c.label}
 
 		var s *core.Store
@@ -140,4 +140,9 @@ func Fig13Table(series []Fig13Series) Table {
 		t.Rows = append(t.Rows, row)
 	}
 	return t
+}
+
+// Fig13Result runs Fig13 and packages it as a machine-readable Result.
+func Fig13Result(sc Scale) Result {
+	return Result{Name: "fig13", Tables: []Table{Fig13Table(Fig13(sc))}}
 }

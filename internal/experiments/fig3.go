@@ -26,7 +26,7 @@ func Fig3(sc Scale) []Fig3Row {
 	var rows []Fig3Row
 
 	fio := func(name string, pct float64, paperLocal, paperGlobal float64) {
-		h := newHarness(101, 4, 4)
+		h := sc.newHarness(101, 4, 4)
 		span := sc.bytes(5 << 20) // paper: 5GB
 		dev := h.rawDevice("fio", span, 64<<10, rados.ReplicatedN(2))
 		h.run(func(p *sim.Proc) {
@@ -47,7 +47,7 @@ func Fig3(sc Scale) []Fig3Row {
 	fio("FIO dedup 80%", 80, 12.98, 80.01)
 
 	sfs := func(loads int, paperLocal, paperGlobal float64) {
-		h := newHarness(102, 4, 4)
+		h := sc.newHarness(102, 4, 4)
 		perLoad := sc.bytes(2400 << 10) // paper: 24GB total at metric 10
 		dev := h.rawDevice("sfs", int64(loads)*perLoad, 64<<10, rados.ReplicatedN(2))
 		cfg := workload.SFSConfig{Loads: loads, BytesPerLoad: perLoad, PageSize: 8 << 10, Seed: 21}
@@ -67,7 +67,7 @@ func Fig3(sc Scale) []Fig3Row {
 
 	// Private cloud.
 	{
-		h := newHarness(103, 4, 4)
+		h := sc.newHarness(103, 4, 4)
 		pool, gw := h.rawPool("cloud", rados.ReplicatedN(2))
 		gen := workload.NewCloudGen(workload.CloudConfig{
 			Objects: sc.countMin(12, 6), ObjectSize: 2 << 20, Seed: 31,
@@ -118,7 +118,7 @@ func Table1(sc Scale) []Table1Row {
 	paperLocal := map[int]float64{4: 15.5, 8: 8.1, 12: 5.5, 16: 4.1}
 	var rows []Table1Row
 	for _, osds := range []int{4, 8, 12, 16} {
-		h := newHarness(111, 4, osds/4)
+		h := sc.newHarness(111, 4, osds/4)
 		span := sc.bytes(5 << 20)
 		dev := h.rawDevice("fio", span, 64<<10, rados.ReplicatedN(2))
 		h.run(func(p *sim.Proc) {
@@ -149,4 +149,14 @@ func Table1Table(rows []Table1Row) Table {
 		t.Rows = append(t.Rows, []string{fmt.Sprint(r.OSDs), f1(r.Local), f1(r.Global), f1(r.PaperLocal), f1(r.PaperGlobal)})
 	}
 	return t
+}
+
+// Fig3Result runs Fig3 and packages it as a machine-readable Result.
+func Fig3Result(sc Scale) Result {
+	return Result{Name: "fig3", Tables: []Table{Fig3Table(Fig3(sc))}}
+}
+
+// Table1Result runs Table1 and packages it as a machine-readable Result.
+func Table1Result(sc Scale) Result {
+	return Result{Name: "table1", Tables: []Table{Table1Table(Table1(sc))}}
 }

@@ -27,7 +27,7 @@ type Fig5aRow struct {
 func Fig5a(sc Scale) []Fig5aRow {
 	span := sc.bytes(8 << 20)
 	runCase := func(name string, bs int64, inline bool) Fig5aRow {
-		h := newHarness(201, 4, 4)
+		h := sc.newHarness(201, 4, 4)
 		var dev *client.BlockDevice
 		if inline {
 			s := h.dedupStore(func(cfg *core.Config) {
@@ -130,7 +130,7 @@ func foregroundWithEngine(h *harness, s *core.Store, dev *client.BlockDevice,
 // Fig5b reproduces Figure 5-(b): a foreground sequential write stream is
 // throttled hard when an un-rate-limited background dedup engine starts.
 func Fig5b(sc Scale) InterferenceResult {
-	h := newHarness(202, 4, 4)
+	h := sc.newHarness(202, 4, 4)
 	s := h.dedupStore(func(cfg *core.Config) {
 		cfg.Rate.Enabled = false // the problem case: no rate control
 		cfg.DedupThreads = 32
@@ -172,7 +172,7 @@ func Fig14(sc Scale) []InterferenceResult {
 	var out []InterferenceResult
 
 	{ // Ideal: no deduplication at all.
-		h := newHarness(203, 4, 4)
+		h := sc.newHarness(203, 4, 4)
 		s := h.dedupStore(func(cfg *core.Config) {
 			cfg.HitSet.HitCount = 1000
 		})
@@ -182,7 +182,7 @@ func Fig14(sc Scale) []InterferenceResult {
 		out = append(out, r)
 	}
 	{ // Dedup without rate control.
-		h := newHarness(204, 4, 4)
+		h := sc.newHarness(204, 4, 4)
 		s := h.dedupStore(func(cfg *core.Config) {
 			cfg.Rate.Enabled = false
 			cfg.DedupThreads = 32
@@ -193,7 +193,7 @@ func Fig14(sc Scale) []InterferenceResult {
 		out = append(out, foregroundWithEngine(h, s, dev, span, total, engStart, "dedup w/o rate control"))
 	}
 	{ // Dedup with watermark rate control.
-		h := newHarness(205, 4, 4)
+		h := sc.newHarness(205, 4, 4)
 		s := h.dedupStore(func(cfg *core.Config) {
 			cfg.Rate = core.RateConfig{Enabled: true, LowIOPS: 100, HighIOPS: 500, OpsPerDedupAboveHigh: 500, OpsPerDedupMid: 100}
 			cfg.DedupThreads = 32
@@ -233,4 +233,19 @@ func Fig14Table(rs []InterferenceResult) Table {
 		t.Rows = append(t.Rows, row)
 	}
 	return t
+}
+
+// Fig5aResult runs Fig5a and packages it as a machine-readable Result.
+func Fig5aResult(sc Scale) Result {
+	return Result{Name: "fig5a", Tables: []Table{Fig5aTable(Fig5a(sc))}}
+}
+
+// Fig5bResult runs Fig5b and packages it as a machine-readable Result.
+func Fig5bResult(sc Scale) Result {
+	return Result{Name: "fig5b", Tables: []Table{Fig5bTable(Fig5b(sc))}}
+}
+
+// Fig14Result runs Fig14 and packages it as a machine-readable Result.
+func Fig14Result(sc Scale) Result {
+	return Result{Name: "fig14", Tables: []Table{Fig14Table(Fig14(sc))}}
 }

@@ -64,7 +64,7 @@ func Table2(sc Scale) []Table2Row {
 		// Actual: store through the dedup design. Replication factor 1 on
 		// both pools, matching the paper's accounting ("calculated under
 		// excluding the redundancy caused by replication").
-		h := newHarness(502, 4, 4)
+		h := sc.newHarness(502, 4, 4)
 		s := h.dedupStore(func(cfg *core.Config) {
 			cfg.ChunkSize = cs
 			cfg.MetaRedundancy = rados.ReplicatedN(1)
@@ -116,3 +116,8 @@ func Table2Table(rows []Table2Row) Table {
 }
 
 var _ = fmt.Sprintf // keep fmt for future note formatting
+
+// Table2Result runs Table2 and packages it as a machine-readable Result.
+func Table2Result(sc Scale) Result {
+	return Result{Name: "table2", Tables: []Table{Table2Table(Table2(sc))}}
+}

@@ -36,7 +36,7 @@ func Table3(sc Scale) []Table3Row {
 	}
 
 	run := func(failed []int, dedup bool) (secs float64, moved int64) {
-		h := newHarness(703, 4, 4)
+		h := sc.newHarness(703, 4, 4)
 		var s *core.Store
 		var dev *client.BlockDevice
 		if dedup {
@@ -110,4 +110,9 @@ func Table3Table(rows []Table3Row) Table {
 		})
 	}
 	return t
+}
+
+// Table3Result runs Table3 and packages it as a machine-readable Result.
+func Table3Result(sc Scale) Result {
+	return Result{Name: "table3", Tables: []Table{Table3Table(Table3(sc))}}
 }

@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dedupstore/internal/experiments"
+	"dedupstore/internal/metrics"
+)
+
+// fakeExp builds a trivially fast experiment whose table depends only on its
+// name, with an optional artificial delay to force out-of-order completion.
+func fakeExp(name string, delay time.Duration) experiments.Experiment {
+	return experiments.NewExperiment(name, func(sc experiments.Scale) experiments.Result {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return experiments.Result{Name: name, Tables: []experiments.Table{{
+			Title:   "table " + name,
+			Columns: []string{"k", "v"},
+			Rows:    [][]string{{name, fmt.Sprintf("%.2f", sc.Data)}},
+		}}}
+	})
+}
+
+// TestRunEmitsInCanonicalOrder: the first experiment is the slowest, so with
+// a wide pool later experiments finish first — emit order must still be
+// input order, and streaming must deliver every report exactly once.
+func TestRunEmitsInCanonicalOrder(t *testing.T) {
+	exps := []experiments.Experiment{
+		fakeExp("a", 120*time.Millisecond),
+		fakeExp("b", 40*time.Millisecond),
+		fakeExp("c", 0),
+		fakeExp("d", 10*time.Millisecond),
+	}
+	var emitted []string
+	reports := Run(exps, Options{Workers: 4}, func(rep Report) {
+		emitted = append(emitted, rep.Name)
+	})
+	want := []string{"a", "b", "c", "d"}
+	if strings.Join(emitted, ",") != strings.Join(want, ",") {
+		t.Errorf("emit order = %v, want %v", emitted, want)
+	}
+	if len(reports) != len(exps) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(exps))
+	}
+	for i, rep := range reports {
+		if rep.Name != want[i] {
+			t.Errorf("report[%d] = %s, want %s", i, rep.Name, want[i])
+		}
+		if rep.Err != nil {
+			t.Errorf("%s: unexpected error %v", rep.Name, rep.Err)
+		}
+		if !strings.Contains(rep.Output, "table "+rep.Name) {
+			t.Errorf("%s: output missing its table:\n%s", rep.Name, rep.Output)
+		}
+	}
+}
+
+// TestPanicIsolation: a panicking experiment becomes Report.Err without
+// taking down the sweep or disturbing its neighbors.
+func TestPanicIsolation(t *testing.T) {
+	boom := experiments.NewExperiment("boom", func(experiments.Scale) experiments.Result {
+		panic("injected failure")
+	})
+	exps := []experiments.Experiment{fakeExp("a", 0), boom, fakeExp("b", 0)}
+	reports := Run(exps, Options{Workers: 2}, nil)
+	if reports[0].Err != nil || reports[2].Err != nil {
+		t.Errorf("healthy experiments errored: %v / %v", reports[0].Err, reports[2].Err)
+	}
+	if reports[1].Err == nil || !strings.Contains(reports[1].Err.Error(), "injected failure") {
+		t.Errorf("panic not converted to error: %v", reports[1].Err)
+	}
+}
+
+// TestWorkerPoolBounded: no more than Options.Workers experiments run
+// simultaneously.
+func TestWorkerPoolBounded(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	exps := make([]experiments.Experiment, 8)
+	for i := range exps {
+		exps[i] = experiments.NewExperiment(fmt.Sprintf("e%d", i), func(experiments.Scale) experiments.Result {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			inFlight.Add(-1)
+			return experiments.Result{Name: "x"}
+		})
+	}
+	Run(exps, Options{Workers: 2}, nil)
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds pool size 2", p)
+	}
+}
+
+// TestParallelMatchesSequentialTwoSeeds is the harness's core guarantee:
+// because every experiment owns an isolated sim, a parallel sweep must be
+// bit-identical to the sequential reference — rendered output and canonical
+// JSON both — across different chaos seeds.
+func TestParallelMatchesSequentialTwoSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	sc := experiments.Scale{Data: 0.05}
+	chaosAt := func(seed int64) experiments.Experiment {
+		name := fmt.Sprintf("chaos-seed%d", seed)
+		return experiments.NewExperiment(name, func(sc experiments.Scale) experiments.Result {
+			return experiments.Result{Name: name, Tables: experiments.ChaosTables(experiments.ChaosSeeded(sc, seed))}
+		})
+	}
+	exps := []experiments.Experiment{
+		chaosAt(811),
+		chaosAt(977),
+		experiments.NewExperiment("table2", experiments.Table2Result),
+		experiments.NewExperiment("fig5a", experiments.Fig5aResult),
+	}
+	seq := Run(exps, Options{Workers: 1, Scale: sc, TraceN: 5}, nil)
+	par := Run(exps, Options{Workers: 4, Scale: sc, TraceN: 5}, nil)
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("%s errored: seq=%v par=%v", seq[i].Name, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Output != par[i].Output {
+			t.Errorf("%s: rendered output differs between sequential and parallel runs", seq[i].Name)
+		}
+		sj, err1 := seq[i].Result.CanonicalJSON()
+		pj, err2 := par[i].Result.CanonicalJSON()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("marshal: %v / %v", err1, err2)
+		}
+		if string(sj) != string(pj) {
+			t.Errorf("%s: canonical JSON differs between sequential and parallel runs", seq[i].Name)
+		}
+		if seq[i].Trace != par[i].Trace {
+			t.Errorf("%s: trace report differs between sequential and parallel runs", seq[i].Name)
+		}
+	}
+}
+
+// TestWallClockInstrumentation: the harness records per-experiment and total
+// wall-clock in the provided metrics registry.
+func TestWallClockInstrumentation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	exps := []experiments.Experiment{fakeExp("a", 5*time.Millisecond), fakeExp("b", 0)}
+	Run(exps, Options{Workers: 2, Metrics: reg}, nil)
+	if n := reg.Counter("harness_experiments_run").Value(); n != 2 {
+		t.Errorf("harness_experiments_run = %d, want 2", n)
+	}
+	if reg.Histogram("harness_experiment_wall:a").Count() != 1 {
+		t.Error("per-experiment wall histogram not recorded")
+	}
+	if reg.Histogram("harness_total_wall").Count() != 1 {
+		t.Error("total wall histogram not recorded")
+	}
+	if reg.Gauge("harness_workers").Value() != 2 {
+		t.Error("worker gauge not recorded")
+	}
+}
+
+// TestTimingSummaryAndResults: Summarize/TimingTable/WriteResults and the
+// timing JSON round-trip.
+func TestTimingSummaryAndResults(t *testing.T) {
+	dir := t.TempDir()
+	exps := []experiments.Experiment{fakeExp("a", 10*time.Millisecond), fakeExp("b", 10*time.Millisecond)}
+	start := time.Now()
+	reports := Run(exps, Options{Workers: 2}, nil)
+	total := time.Since(start)
+
+	sum := Summarize(reports, 2, total)
+	if sum.Workers != 2 || len(sum.Experiments) != 2 || sum.Speedup <= 0 {
+		t.Errorf("bad summary: %+v", sum)
+	}
+	path := filepath.Join(dir, "sub", "BENCH.json")
+	if err := WriteTimingJSON(path, sum); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"total_seconds"`) || !strings.HasSuffix(string(data), "\n") {
+		t.Errorf("timing JSON malformed:\n%s", data)
+	}
+
+	tab := TimingTable(reports, 2, total)
+	rendered := tab.String()
+	for _, want := range []string{"Harness timing", "a", "b", "TOTAL", "speedup"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("timing table missing %q:\n%s", want, rendered)
+		}
+	}
+
+	if err := WriteResults(dir, reports); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a.json", "b.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("result file %s not written: %v", name, err)
+		}
+	}
+}

@@ -25,6 +25,7 @@ type Params struct {
 
 	// CPU work rates.
 	HashBW     float64 // SHA-256 fingerprinting
+	RollBW     float64 // content-defined-chunking rolling-hash scan
 	ECBW       float64 // Reed-Solomon encode/decode per byte of data
 	CompressBW float64 // flate compression
 	CRCBW      float64 // per-message checksumming
@@ -49,6 +50,7 @@ func Default() Params {
 		SSDWriteBW:      450e6,
 		JournalAmp:      1.35,
 		HashBW:          1.4e9,
+		RollBW:          450e6,
 		ECBW:            2.8e9,
 		CompressBW:      220e6,
 		CRCBW:           5e9,
@@ -88,6 +90,10 @@ func (p Params) DiskWrite(n int) time.Duration {
 
 // Hash is the CPU time to fingerprint n bytes.
 func (p Params) Hash(n int) time.Duration { return xfer(n, p.HashBW) }
+
+// ChunkScan is the CPU time for a content-defined chunker's rolling hash to
+// scan n bytes looking for boundaries. Fixed chunking pays none of this.
+func (p Params) ChunkScan(n int) time.Duration { return xfer(n, p.RollBW) }
 
 // ECEncode is the CPU time to erasure-code n bytes of data.
 func (p Params) ECEncode(n int) time.Duration { return xfer(n, p.ECBW) }
