@@ -15,7 +15,7 @@ test:
 # Concurrency-sensitive packages under the race detector (includes the
 # experiment harness's worker pool).
 race:
-	go test -race ./internal/metrics ./internal/sim ./internal/rados ./internal/core ./internal/chaos ./internal/harness
+	go test -race ./internal/metrics ./internal/sim ./internal/qos ./internal/rados ./internal/core ./internal/chaos ./internal/harness
 
 # Every internal package must ship tests.
 check-tests:

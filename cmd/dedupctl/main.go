@@ -8,7 +8,7 @@
 //
 //	dedupctl [flags] <action>...
 //
-// Actions: status df metrics scrub corrupt repair gc evict verify chaos
+// Actions: status df metrics qos scrub corrupt repair gc evict verify chaos
 package main
 
 import (
@@ -42,7 +42,7 @@ func main() {
 		traceIn  = flag.String("trace", "", "replay this block trace instead of synthetic fill")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics scrub corrupt repair gc evict verify chaos\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos scrub corrupt repair gc evict verify chaos\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,6 +83,8 @@ func main() {
 			c.df()
 		case "metrics":
 			c.metrics()
+		case "qos":
+			c.qos()
 		case "scrub":
 			c.scrub(false)
 		case "repair":
@@ -172,6 +174,23 @@ func (c *ctl) metrics() {
 	fmt.Print(dedupstore.FormatUsage(c.world.Cluster.Resources().Snapshot(c.world.Engine.Now())))
 }
 
+// qos dumps the per-OSD op scheduler's per-class state: weights, depth
+// caps, admission counters and queue pressure, aggregated across every disk
+// and NIC scheduler in the cluster.
+func (c *ctl) qos() {
+	fmt.Printf("%-10s %7s %6s %9s %10s %10s %10s %7s %9s %12s %12s\n",
+		"class", "weight", "cap", "limit", "admitted", "queued", "throttled", "inq", "max-queue", "queue-wait", "busy")
+	for _, t := range c.world.Cluster.QoS().Totals() {
+		limit := "-"
+		if t.Limit > 0 {
+			limit = t.Limit.Round(time.Microsecond).String()
+		}
+		fmt.Printf("%-10s %7d %6d %9s %10d %10d %10d %7d %9d %12v %12v\n",
+			t.Class, t.Weight, t.MaxDepth, limit, t.Admitted, t.Queued, t.Throttled,
+			t.QueueLen, t.MaxQueue, t.QueueWait.Round(time.Microsecond), t.Busy.Round(time.Microsecond))
+	}
+}
+
 func (c *ctl) scrub(repair bool) {
 	c.world.Run(func(p *dedupstore.Proc) {
 		for _, pool := range []*dedupstore.Pool{c.store.MetaPool(), c.store.ChunkPool()} {
@@ -236,11 +255,10 @@ func (c *ctl) evict() {
 // for a given -seed; follow with `verify gc` to audit the aftermath.
 func (c *ctl) chaos(seed int64) {
 	mon := c.world.Cluster.StartMonitor(dedupstore.MonitorConfig{
-		Interval:       250 * time.Millisecond,
-		Grace:          time.Second,
-		OutAfter:       2500 * time.Millisecond,
-		RecoverStreams: 4,
-		AutoRecover:    true,
+		Interval:    250 * time.Millisecond,
+		Grace:       time.Second,
+		OutAfter:    2500 * time.Millisecond,
+		AutoRecover: true,
 	})
 	inj := dedupstore.NewFaultInjector(c.world.Cluster)
 	osds := c.world.Cluster.OSDs()

@@ -63,7 +63,7 @@ func main() {
 	fmt.Println("replaced osd.2 (host0) and osd.9 (host2) with empty devices")
 
 	world.Run(func(p *dedupstore.Proc) {
-		stats := world.Cluster.Recover(p, 4)
+		stats := world.Cluster.Recover(p)
 		fmt.Printf("recovery: %d objects copied, %.2f MB moved in %v (virtual)\n",
 			stats.ObjectsCopied, float64(stats.BytesMoved)/1e6, stats.Duration())
 	})

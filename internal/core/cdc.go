@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dedupstore/internal/qos"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
@@ -25,24 +26,26 @@ import (
 // references, leaving the object dirty for the next cycle — the same
 // convergence argument as §4.6.
 
-// flushObjectCDC deduplicates one object with content-defined chunking.
-func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid string) error {
+// flushObjectCDC deduplicates one object with content-defined chunking. It
+// returns the number of chunks the flush processed (for QoS cost billing)
+// along with any error.
+func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid string) (int, error) {
 	s := e.s
 	cdc := s.cfg.CDC
 	if cdc == nil {
-		return errors.New("core: CDC flush without CDC config")
+		return 0, errors.New("core: CDC flush without CDC config")
 	}
 
 	raw, err := gw.GetXattr(p, s.meta, oid, XattrChunkMap)
 	if err != nil {
-		return nil // deleted meanwhile
+		return 0, nil // deleted meanwhile
 	}
 	cm, err := UnmarshalChunkMap(raw)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(cm.DirtyEntries()) == 0 {
-		return nil
+		return 0, nil
 	}
 	size := cm.Size()
 
@@ -60,7 +63,7 @@ func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid st
 			continue
 		}
 		if err != nil {
-			return fmt.Errorf("core: cdc materialize %s@%d: %w", oid, entry.Start, err)
+			return 0, fmt.Errorf("core: cdc materialize %s@%d: %w", oid, entry.Start, err)
 		}
 		copy(data[entry.Start:], seg)
 	}
@@ -69,22 +72,20 @@ func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid st
 	// fingerprinting (the expense the paper avoids, §5).
 	cost := s.cluster.Cost()
 	if err := s.cluster.UseHostCPU(p, hostName, cost.Hash(len(data))+cost.Hash(len(data))/2); err != nil {
-		return err
+		return 0, err
 	}
 	chunks := cdc.Split(0, data)
 
-	// (3) Reference the new chunks (create-or-incref, §4.4.1 steps 4-5).
+	// (3) Reference the new chunks (create-or-incref, §4.4.1 steps 4-5; rate
+	// control acts through the dedup class weight on gw's scheduler).
 	var refs []takenRef
 	for _, c := range chunks {
-		if !force(e) {
-			e.pace(p)
-		}
 		id := FingerprintID(c.Data)
 		ref := Ref{Pool: s.meta.ID, OID: oid, Offset: c.Offset}
 		var added bool
 		if err := gw.MutateWithPayload(p, s.chunk, id, len(c.Data), putRefFnTracked(c.Data, ref, &added)); err != nil {
 			e.undoRefs(p, gw, refs)
-			return err
+			return len(chunks), err
 		}
 		e.stats.ChunksFlushed++
 		e.stats.BytesFlushed += int64(len(c.Data))
@@ -133,12 +134,12 @@ func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid st
 	})
 	if err != nil {
 		e.undoRefs(p, gw, refs)
-		return err
+		return len(chunks), err
 	}
 	if raced {
 		e.stats.Requeued++
 		e.undoRefs(p, gw, refs)
-		return gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
+		return len(chunks), gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
 			return store.NewTxn().Create().OmapSet(oid, nil), nil
 		})
 	}
@@ -161,10 +162,10 @@ func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid st
 			fn = dropRefFn(or.ref)
 		}
 		if err := gw.Mutate(p, s.chunk, or.entry.ChunkID, fn); err != nil && !errors.Is(err, ErrNotFound) {
-			return err
+			return len(chunks), err
 		}
 	}
-	return nil
+	return len(chunks), nil
 }
 
 // takenRef pairs a prospective chunk-map entry with its reference key.
@@ -191,8 +192,6 @@ func (e *Engine) undoRefs(p *sim.Proc, gw *rados.Gateway, refs []takenRef) {
 	}
 }
 
-func force(e *Engine) bool { return e.draining }
-
 // cdcWrite is the CDC-mode client write path: because existing entries may
 // have arbitrary (content-defined) boundaries, a write first materializes
 // every overlapped entry into the cached data region, then replaces the
@@ -200,7 +199,7 @@ func force(e *Engine) bool { return e.draining }
 // de-referenced after the map update.
 func (cl *Client) cdcWrite(p *sim.Proc, oid string, off int64, data []byte) error {
 	s := cl.s
-	proxyGW, _, err := s.metaPrimaryGW(oid)
+	proxyGW, _, err := s.metaPrimaryGW(oid, qos.Client)
 	if err != nil {
 		return err
 	}

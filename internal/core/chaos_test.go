@@ -21,11 +21,10 @@ func TestCrashDuringFlushKeepsInvariants(t *testing.T) {
 		cfg.FalsePositiveRefs = true // crash-safe refcount mode (§4.6)
 	})
 	m := e.c.StartMonitor(rados.MonitorConfig{
-		Interval:       50 * time.Millisecond,
-		Grace:          200 * time.Millisecond,
-		OutAfter:       500 * time.Millisecond,
-		RecoverStreams: 4,
-		AutoRecover:    true,
+		Interval:    50 * time.Millisecond,
+		Grace:       200 * time.Millisecond,
+		OutAfter:    500 * time.Millisecond,
+		AutoRecover: true,
 	})
 	e.s.StartEngine()
 

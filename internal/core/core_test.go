@@ -520,7 +520,7 @@ func TestRecoveryPreservesDedupState(t *testing.T) {
 	if _, err := e.c.ReplaceOSD(9); err != nil {
 		t.Fatal(err)
 	}
-	e.run(t, func(p *sim.Proc) { e.c.Recover(p, 4) })
+	e.run(t, func(p *sim.Proc) { e.c.Recover(p) })
 	e.run(t, func(p *sim.Proc) {
 		for i := 0; i < 6; i++ {
 			got, err := e.cl.Read(p, fmt.Sprintf("o%d", i), 0, -1)

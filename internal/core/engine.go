@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dedupstore/internal/metrics"
+	"dedupstore/internal/qos"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
@@ -20,14 +21,15 @@ type EngineStats struct {
 	NoopFlushes    int64 // dirty slots whose content already matched their chunk (no chunk-pool I/O)
 	SkippedHot     int64
 	Requeued       int64 // flushes retried because a write raced
-	ThrottleWaits  int64 // pacing stalls taken by rate control
+	RateAdjusts    int64 // dedup-class weight changes made by rate control
 }
 
 // Engine is the background post-processing deduplicator (§4.4.1): worker
 // processes scan the per-PG dirty object ID lists, read dirty cached chunks
 // from metadata objects, fingerprint them, move them to the chunk pool with
 // reference counting, and update the chunk maps — all throttled by the
-// watermark rate controller (§4.4.2).
+// watermark rate controller (§4.4.2), which retunes the dedup QoS class
+// weight from the foreground load.
 type Engine struct {
 	s     *Store
 	stats EngineStats
@@ -41,9 +43,9 @@ type Engine struct {
 	pending []string        // dirty OIDs discovered by the last sweep
 	inQueue map[string]bool // membership set for pending
 
-	// Rate-control pacing state: the foreground-op count at which the next
-	// dedup I/O is allowed.
-	nextAllowedAtFgOps int64
+	// Watermark rate-control state (ratepolicy.go).
+	ratePolicyOn bool  // controller daemon is live
+	rateBase     int64 // dedup-class weight to restore when unthrottled
 
 	// Test hooks: simulated crash points in the flush protocol (§4.6). A
 	// hook returning true aborts the flush at that point, as a crash would.
@@ -73,6 +75,7 @@ func (e *Engine) Start() {
 	for i := 0; i < e.s.cfg.DedupThreads; i++ {
 		e.done = append(e.done, eng.GoDaemon(fmt.Sprintf("dedup.worker%d", i), e.workerLoop))
 	}
+	e.startRatePolicy()
 }
 
 // RequestStop asks workers to exit after their current object.
@@ -111,7 +114,7 @@ func (e *Engine) workerLoop(p *sim.Proc) {
 			p.Sleep(s.cfg.ScanInterval)
 			continue
 		}
-		gw, hostName, err := s.metaPrimaryGW(oid)
+		gw, hostName, err := s.metaPrimaryGW(oid, qos.Dedup)
 		if err != nil {
 			continue
 		}
@@ -172,40 +175,10 @@ func anyHost(s *Store) string {
 	return hostName
 }
 
-// pace enforces the watermark rate control (§4.4.2) before each dedup I/O:
-// above the high watermark one dedup I/O is allowed per OpsPerDedupAboveHigh
-// foreground I/Os; between the watermarks one per OpsPerDedupMid; below the
-// low watermark dedup runs unthrottled.
-func (e *Engine) pace(p *sim.Proc) {
-	rc := e.s.cfg.Rate
-	if !rc.Enabled {
-		return
-	}
-	for !e.stopReq {
-		iops := e.s.cluster.ForegroundOps().RecentIOPS()
-		var gap int64
-		switch {
-		case iops > rc.HighIOPS:
-			gap = rc.OpsPerDedupAboveHigh
-		case iops > rc.LowIOPS:
-			gap = rc.OpsPerDedupMid
-		default:
-			return // no limitation below the low watermark
-		}
-		fgOps, _ := e.s.cluster.ForegroundOps().Totals()
-		if fgOps >= e.nextAllowedAtFgOps {
-			e.nextAllowedAtFgOps = fgOps + gap
-			return
-		}
-		e.stats.ThrottleWaits++
-		e.reg().Counter("dedup_throttle_waits_total").Inc()
-		p.Sleep(5 * time.Millisecond)
-	}
-}
-
 // flushObject deduplicates every dirty chunk of one metadata object
 // (§4.4.1 steps 2–6). force bypasses the hot-object exemption and rate
-// control (used by ModeFlushThrough and final drains).
+// control (used by ModeFlushThrough and final drains); rate control claims
+// one dedup-class admission slot per chunk via the QoS group's WaitTurn.
 func (e *Engine) flushObject(p *sim.Proc, gw *rados.Gateway, hostName, oid string, force bool) error {
 	s := e.s
 	e.stats.ObjectsScanned++
@@ -222,7 +195,17 @@ func (e *Engine) flushObject(p *sim.Proc, gw *rados.Gateway, hostName, oid strin
 	}
 
 	if s.cfg.CDC != nil {
-		if err := e.flushObjectCDC(p, gw, hostName, oid); err != nil {
+		// A CDC flush rewrites the whole object in one transaction and can't
+		// pause between chunks, so it prepays one admission slot and bills
+		// the rest of its cost postpaid once the chunk count is known.
+		if !force {
+			s.cluster.QoS().WaitTurn(p, qos.Dedup)
+		}
+		n, err := e.flushObjectCDC(p, gw, hostName, oid)
+		if !force {
+			s.cluster.QoS().Charge(p, qos.Dedup, int64(n))
+		}
+		if err != nil {
 			e.stats.Requeued++
 			return e.requeueDirty(p, gw, oid)
 		}
@@ -250,7 +233,11 @@ func (e *Engine) flushObject(p *sim.Proc, gw *rados.Gateway, hostName, oid strin
 		return err
 	}
 	// Flush dirty chunks with bounded intra-object parallelism: each chunk
-	// is an independent slot, so their chunk-pool I/Os pipeline.
+	// is an independent slot, so their chunk-pool I/Os pipeline. Rate
+	// control (§4.4.2) admits one chunk per slot via WaitTurn — the slot
+	// spacing is set by the watermark policy, so the trickle tracks the
+	// measured foreground rate. Forced flushes (flush-through mode,
+	// explicit drains) are client-visible and never held back.
 	requeue := false
 	queue := sim.NewQueue[Entry]()
 	for _, i := range cm.DirtyEntries() {
@@ -271,7 +258,7 @@ func (e *Engine) flushObject(p *sim.Proc, gw *rados.Gateway, hostName, oid strin
 					return
 				}
 				if !force {
-					e.pace(q)
+					s.cluster.QoS().WaitTurn(q, qos.Dedup)
 				}
 				if e.stopReq && !e.draining && !force {
 					requeue = true

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dedupstore/internal/qos"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
@@ -58,9 +59,9 @@ func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 		reg.Counter("dedup_gc_chunks_deleted_total").Add(stats.ChunksDeleted)
 		reg.Counter("dedup_gc_bytes_reclaimed_total").Add(stats.BytesReclaimed)
 	}()
-	sp := s.cluster.Trace().Start(p, "dedup.gc")
+	sp := s.cluster.Trace().Start(p, "dedup.gc").SetClass(qos.GC.String())
 	defer sp.Finish(p)
-	gw := s.hostGW(anyHost(s))
+	gw := s.hostGWClass(anyHost(s), qos.GC)
 	for _, chunkOID := range s.cluster.ListObjects(s.chunk) {
 		stats.ChunksScanned++
 		var refs []string

@@ -4,16 +4,18 @@ import (
 	"testing"
 	"time"
 
+	"dedupstore/internal/qos"
 	"dedupstore/internal/sim"
 )
 
-// TestPaceEarlyRunThrottles is the regression test for the first-second
-// measurement bug: with foreground load far above the high watermark only
-// 200ms into the run, pace must grant one dedup I/O per
-// OpsPerDedupAboveHigh foreground ops. The old full-window average divided
-// those ops by a second that had not elapsed, under-reported the rate, and
-// left the controller in the mid (or unthrottled) band.
-func TestPaceEarlyRunThrottles(t *testing.T) {
+// TestRatePolicyEarlyRunThrottles is the regression test for the
+// first-second measurement bug: with foreground load far above the high
+// watermark only 200ms into the run, the rate controller must drop the dedup
+// class weight into the above-high band (base/OpsPerDedupAboveHigh). The old
+// full-window average divided those ops by a second that had not elapsed,
+// under-reported the rate, and left the controller in the mid (or
+// unthrottled) band.
+func TestRatePolicyEarlyRunThrottles(t *testing.T) {
 	e := newDedupEnv(t, func(cfg *Config) { cfg.Rate = DefaultRate() })
 	e.run(t, func(p *sim.Proc) {
 		p.Sleep(200 * time.Millisecond)
@@ -27,12 +29,14 @@ func TestPaceEarlyRunThrottles(t *testing.T) {
 			t.Fatalf("RecentIOPS = %v, want > high watermark %v", iops, e.s.cfg.Rate.HighIOPS)
 		}
 		eng := e.s.Engine()
-		eng.pace(p)
-		fgOps, _ := fg.Totals()
-		gap := eng.nextAllowedAtFgOps - fgOps
-		if gap != e.s.cfg.Rate.OpsPerDedupAboveHigh {
-			t.Errorf("pace gap = %d foreground ops, want %d (above-high band)",
-				gap, e.s.cfg.Rate.OpsPerDedupAboveHigh)
+		eng.rateBase = e.c.QoS().Weight(qos.Dedup)
+		eng.rateTick()
+		want := eng.rateBase / e.s.cfg.Rate.OpsPerDedupAboveHigh
+		if got := e.c.QoS().Weight(qos.Dedup); got != want {
+			t.Errorf("dedup weight after tick = %d, want %d (above-high band)", got, want)
+		}
+		if eng.Stats().RateAdjusts != 1 {
+			t.Errorf("RateAdjusts = %d, want 1", eng.Stats().RateAdjusts)
 		}
 	})
 }

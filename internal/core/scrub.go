@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"dedupstore/internal/qos"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 )
@@ -42,9 +43,9 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 		reg.Counter("dedup_scrub_bytes_verified_total").Add(rep.BytesVerified)
 		reg.Counter("dedup_scrub_issues_total").Add(int64(len(rep.Issues)))
 	}()
-	sp := s.cluster.Trace().Start(p, "dedup.scrub")
+	sp := s.cluster.Trace().Start(p, "dedup.scrub").SetClass(qos.Scrub.String())
 	defer sp.Finish(p)
-	gw := s.hostGW(anyHost(s))
+	gw := s.hostGWClass(anyHost(s), qos.Scrub)
 
 	// 1. Chunk objects: content must hash to the object ID (the double-
 	// hashing invariant) and the refcount must equal the back-ref count.

@@ -8,6 +8,7 @@ import (
 	"dedupstore/internal/chunker"
 	"dedupstore/internal/hitset"
 	"dedupstore/internal/metrics"
+	"dedupstore/internal/qos"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
@@ -126,8 +127,8 @@ type Store struct {
 	cache   *CacheManager
 	engine  *Engine
 
-	hostGWs  map[string]*rados.Gateway
-	objLocks map[string]*sim.Resource // inline-mode per-object write locks
+	hostGWs  map[string]*rados.Gateway // keyed class|host: one internal gateway per QoS class per host
+	objLocks map[string]*sim.Resource  // inline-mode per-object write locks
 }
 
 // Open creates (or errors on existing) the metadata and chunk pools and
@@ -202,28 +203,40 @@ func (s *Store) Cache() *CacheManager { return s.cache }
 // StartEngine spawns the background dedup workers (post-processing mode).
 func (s *Store) StartEngine() { s.engine.Start() }
 
-// hostGW returns the internal gateway for a storage host (created lazily).
+// hostGW returns the dedup-class internal gateway for a storage host (the
+// background engine's default; created lazily).
 func (s *Store) hostGW(hostName string) *rados.Gateway {
-	gw, ok := s.hostGWs[hostName]
+	return s.hostGWClass(hostName, qos.Dedup)
+}
+
+// hostGWClass returns the internal gateway for a storage host submitting in
+// the given QoS class. Gateways are cached per (class, host): each class
+// keeps its own gateway so the I/O it proxies is scheduled — and traced —
+// under the class doing the work, not a shared catch-all.
+func (s *Store) hostGWClass(hostName string, cls qos.Class) *rados.Gateway {
+	key := cls.String() + "|" + hostName
+	gw, ok := s.hostGWs[key]
 	if !ok {
 		var err error
-		gw, err = s.cluster.HostGateway(hostName)
+		gw, err = s.cluster.HostGatewayClass(hostName, cls)
 		if err != nil {
 			panic(err)
 		}
-		s.hostGWs[hostName] = gw
+		s.hostGWs[key] = gw
 	}
 	return gw
 }
 
 // metaPrimaryGW returns the internal gateway co-located with the metadata
-// object's primary OSD — where server-side dedup work for that object runs.
-func (s *Store) metaPrimaryGW(oid string) (*rados.Gateway, string, error) {
+// object's primary OSD — where server-side dedup work for that object runs —
+// submitting in the given QoS class (client-serving proxy work rides the
+// client class; background flush rides the dedup class).
+func (s *Store) metaPrimaryGW(oid string, cls qos.Class) (*rados.Gateway, string, error) {
 	hostName, err := s.cluster.PrimaryHost(s.meta, oid)
 	if err != nil {
 		return nil, "", err
 	}
-	return s.hostGW(hostName), hostName, nil
+	return s.hostGWClass(hostName, cls), hostName, nil
 }
 
 // dirtyListOID returns the per-PG dirty object ID list's object name
@@ -308,7 +321,7 @@ func (cl *Client) write(p *sim.Proc, oid string, off int64, data []byte) error {
 		return cl.cdcWrite(p, oid, off, data)
 	}
 
-	proxyGW, _, err := s.metaPrimaryGW(oid)
+	proxyGW, _, err := s.metaPrimaryGW(oid, qos.Client)
 	if err != nil {
 		return err
 	}
@@ -365,8 +378,9 @@ func (cl *Client) write(p *sim.Proc, oid string, off int64, data []byte) error {
 		})
 	})
 	if s.cfg.Mode == ModeFlushThrough {
-		// "Proposed-flush": deduplicate immediately (Fig. 10 worst case).
-		gw, hostName, err := s.metaPrimaryGW(oid)
+		// "Proposed-flush": deduplicate immediately (Fig. 10 worst case). The
+		// flush gates the client's ack, so it submits in the client class.
+		gw, hostName, err := s.metaPrimaryGW(oid, qos.Client)
 		if err != nil {
 			return err
 		}
@@ -418,7 +432,7 @@ func (cl *Client) read(p *sim.Proc, oid string, off, length int64) ([]byte, erro
 	}
 	out := make([]byte, length)
 	idxs := cm.FindRange(off, length)
-	proxyGW, _, err := s.metaPrimaryGW(oid)
+	proxyGW, _, err := s.metaPrimaryGW(oid, qos.Client)
 	if err != nil {
 		return nil, err
 	}

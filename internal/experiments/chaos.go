@@ -87,11 +87,10 @@ func chaosRun(sc Scale, scn ChaosScenario, seed int64) ChaosResult {
 		cfg.FalsePositiveRefs = true // crash-safe refcount mode (§4.6)
 	})
 	mon := h.c.StartMonitor(rados.MonitorConfig{
-		Interval:       250 * time.Millisecond,
-		Grace:          time.Second,
-		OutAfter:       2500 * time.Millisecond,
-		RecoverStreams: 4,
-		AutoRecover:    true,
+		Interval:    250 * time.Millisecond,
+		Grace:       time.Second,
+		OutAfter:    2500 * time.Millisecond,
+		AutoRecover: true,
 	})
 	s.StartEngine()
 

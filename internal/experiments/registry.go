@@ -77,6 +77,7 @@ func Registry() []Experiment {
 		NewExperiment("fig14", Fig14Result),
 		NewExperiment("chaos", ChaosSweepResult),
 		NewExperiment("ablation", AblationResult),
+		NewExperiment("qos", QoSResult),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"dedupstore/internal/client"
 	"dedupstore/internal/core"
+	"dedupstore/internal/qos"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/workload"
@@ -69,7 +70,8 @@ func Table3(sc Scale) []Table3Row {
 			}
 		}
 		var stats rados.RecoveryStats
-		h.run(func(p *sim.Proc) { stats = h.c.Recover(p, 8) })
+		h.c.QoS().SetMaxDepth(qos.Recovery, 8) // match the paper run's 8 streams per OSD
+		h.run(func(p *sim.Proc) { stats = h.c.Recover(p) })
 		return stats.Duration().Seconds(), stats.BytesMoved
 	}
 

@@ -28,6 +28,7 @@ type Span struct {
 	ID     uint64
 	Parent uint64
 	Name   string // op kind, e.g. "rados.write"
+	Class  string // QoS class the op was admitted under ("client", "dedup", ...)
 	Pool   string
 	PG     string
 	Bytes  int64
@@ -96,6 +97,15 @@ func (sp *Span) SetOp(pool, pg string, bytes int64) *Span {
 	return sp
 }
 
+// SetClass tags the span with the QoS class its I/O was admitted under.
+// Nil-safe.
+func (sp *Span) SetClass(class string) *Span {
+	if sp != nil {
+		sp.Class = class
+	}
+	return sp
+}
+
 // Finish closes the span at the process's current virtual time, restores the
 // parent tracer, and records the span in the sink. Must be called on the
 // same process that Started it. Nil-safe.
@@ -122,6 +132,9 @@ func (sp *Span) Finish(p *sim.Proc) {
 func (sp *Span) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12v %-16s", sp.Duration(), sp.Name)
+	if sp.Class != "" {
+		fmt.Fprintf(&b, " class=%s", sp.Class)
+	}
 	if sp.Pool != "" {
 		fmt.Fprintf(&b, " pool=%s", sp.Pool)
 	}

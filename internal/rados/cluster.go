@@ -14,6 +14,7 @@ import (
 	"dedupstore/internal/crush"
 	"dedupstore/internal/ec"
 	"dedupstore/internal/metrics"
+	"dedupstore/internal/qos"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/simcost"
 	"dedupstore/internal/store"
@@ -111,6 +112,9 @@ type host struct {
 	name string
 	nic  *sim.Resource
 	cpu  *sim.Resource
+	// nicSched is the QoS admission gate in front of nic: every NIC
+	// serialization on this host goes through it under an I/O class.
+	nicSched *qos.Scheduler
 }
 
 type osd struct {
@@ -118,6 +122,9 @@ type osd struct {
 	host  *host
 	store *store.Store
 	disk  *sim.Resource
+	// sched is the per-OSD QoS op scheduler fronting disk: the single
+	// admission point for every disk I/O, fair-queued across classes.
+	sched *qos.Scheduler
 	// slow scales disk service times (1.0 = the cost model's SSD; an HDD
 	// class OSD uses a larger factor).
 	slow float64
@@ -131,14 +138,16 @@ type osd struct {
 	alive bool
 }
 
-// diskRead charges a read of n bytes at this OSD's device speed.
-func (o *osd) diskRead(p *sim.Proc, cost simcost.Params, n int) {
-	o.disk.Use(p, time.Duration(float64(cost.DiskRead(n))*o.slow))
+// diskRead charges a read of n bytes at this OSD's device speed, admitted
+// through the OSD's QoS scheduler under the given class.
+func (o *osd) diskRead(p *sim.Proc, cls qos.Class, cost simcost.Params, n int) {
+	o.sched.Use(p, cls, time.Duration(float64(cost.DiskRead(n))*o.slow))
 }
 
-// diskWrite charges a durable write of n bytes at this OSD's device speed.
-func (o *osd) diskWrite(p *sim.Proc, cost simcost.Params, n int) {
-	o.disk.Use(p, time.Duration(float64(cost.DiskWrite(n))*o.slow))
+// diskWrite charges a durable write of n bytes at this OSD's device speed,
+// admitted through the OSD's QoS scheduler under the given class.
+func (o *osd) diskWrite(p *sim.Proc, cls qos.Class, cost simcost.Params, n int) {
+	o.sched.Use(p, cls, time.Duration(float64(cost.DiskWrite(n))*o.slow))
 }
 
 // Cluster is the distributed object store. All blocking methods must be
@@ -180,6 +189,13 @@ type Cluster struct {
 	reg  *metrics.Registry
 	sink *metrics.TraceSink
 	rmon *metrics.ResourceMonitor
+
+	// qsched shares one QoS config across every OSD disk and host NIC
+	// scheduler, so one weight update retunes the whole cluster.
+	qsched *qos.Group
+	// qwait pre-resolves the per-class queue-wait histograms so the
+	// admission hot path avoids a registry lookup per I/O.
+	qwait [qos.NumClasses]*metrics.Histogram
 }
 
 // Option configures a Cluster.
@@ -210,9 +226,18 @@ func New(eng *sim.Engine, cost simcost.Params, opts ...Option) *Cluster {
 		reg:        metrics.NewRegistry(),
 		sink:       metrics.NewTraceSink(4096),
 		rmon:       metrics.NewResourceMonitor(),
+		qsched:     qos.NewGroup(qos.DefaultConfig()),
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	for cls := qos.Class(0); cls < qos.NumClasses; cls++ {
+		c.qwait[cls] = c.reg.Histogram("qos_queue_wait:" + cls.String())
+	}
+	c.qsched.OnAdmit = func(_ string, cls qos.Class, wait time.Duration, queued bool) {
+		if queued {
+			c.qwait[cls].Add(wait)
+		}
 	}
 	return c
 }
@@ -239,6 +264,7 @@ func (c *Cluster) AddHost(name string, cores int) {
 		nic:  sim.NewResource("nic."+name, 1),
 		cpu:  sim.NewResource("cpu."+name, cores),
 	}
+	h.nicSched = c.qsched.NewScheduler(h.nic)
 	c.rmon.Watch(h.nic)
 	c.rmon.Watch(h.cpu)
 	c.hosts[name] = h
@@ -271,6 +297,7 @@ func (c *Cluster) AddOSDClass(id int, hostName string, weight float64, class str
 		baseSlow: slowFactor,
 		alive:    true,
 	}
+	o.sched = c.qsched.NewScheduler(o.disk)
 	c.rmon.Watch(o.disk)
 	c.osds[id] = o
 	return nil
@@ -393,6 +420,11 @@ func (c *Cluster) Trace() *metrics.TraceSink { return c.sink }
 // for every host NIC, host CPU pool and OSD disk.
 func (c *Cluster) Resources() *metrics.ResourceMonitor { return c.rmon }
 
+// QoS returns the cluster's scheduler group: the shared per-class weights
+// and depth caps every OSD disk and host NIC scheduler enforces. Policies
+// (the §4.4.2 watermark controller) tune classes through it.
+func (c *Cluster) QoS() *qos.Group { return c.qsched }
+
 // DumpMetrics publishes the current resource utilization into the registry
 // and renders everything as Prometheus exposition text.
 func (c *Cluster) DumpMetrics() string {
@@ -406,6 +438,22 @@ func (c *Cluster) DumpMetrics() string {
 	c.reg.Counter("rados_foreground_ops_total").Add(ops - c.reg.Counter("rados_foreground_ops_total").Value())
 	c.reg.Counter("rados_foreground_bytes_total").Add(bytes - c.reg.Counter("rados_foreground_bytes_total").Value())
 	c.reg.Counter("rados_recovered_bytes_total").Add(c.recovered - c.reg.Counter("rados_recovered_bytes_total").Value())
+	for _, t := range c.qsched.Totals() {
+		base := "qos_" + t.Class
+		set := func(suffix string, v int64) {
+			c.reg.Counter(base + suffix).Add(v - c.reg.Counter(base+suffix).Value())
+		}
+		set("_admitted_total", t.Admitted)
+		set("_queued_total", t.Queued)
+		set("_throttled_total", t.Throttled)
+		c.reg.Gauge(base + "_weight").Set(t.Weight)
+		c.reg.Gauge(base + "_limit_us").Set(t.Limit.Microseconds())
+		c.reg.Gauge(base + "_queue_len").Set(int64(t.QueueLen))
+		c.reg.Gauge(base + "_queue_max").Set(int64(t.MaxQueue))
+		c.reg.Gauge(base + "_inflight").Set(int64(t.Inflight))
+		c.reg.Gauge(base + "_queue_wait_us").Set(t.QueueWait.Microseconds())
+		c.reg.Gauge(base + "_busy_us").Set(t.Busy.Microseconds())
+	}
 	return c.reg.Dump()
 }
 
@@ -456,13 +504,15 @@ func (c *Cluster) OSDs() []int { return c.cmap.OSDs() }
 
 // netSend models one network hop: the NIC is occupied only for the
 // serialization time; propagation latency accrues without holding the link.
-// A degraded link (SetNICSlow) stretches serialization by its factor.
-func (c *Cluster) netSend(p *sim.Proc, nic *sim.Resource, n int) {
+// The serialization slot is admitted through the link's QoS scheduler under
+// the op's class. A degraded link (SetNICSlow) stretches serialization by
+// its factor.
+func (c *Cluster) netSend(p *sim.Proc, cls qos.Class, nic *qos.Scheduler, n int) {
 	ser := c.cost.NetSer(n)
-	if f, ok := c.nicSlow[nic.Name()]; ok && f > 1 {
+	if f, ok := c.nicSlow[nic.Resource().Name()]; ok && f > 1 {
 		ser = time.Duration(float64(ser) * f)
 	}
-	nic.Use(p, ser)
+	nic.Use(p, cls, ser)
 	p.Sleep(c.cost.NetLatency)
 }
 
@@ -566,6 +616,47 @@ func (c *Cluster) HostOSDs(hostName string) []int {
 		}
 	}
 	return ids
+}
+
+// liveInMapHolder returns the first live, up+in OSD (in id order) holding
+// key, excluding skip — the shared "who can still serve this object" scan
+// behind degraded reads, on-demand pulls and xattr peeks.
+func (c *Cluster) liveInMapHolder(key store.Key, skip *osd) *osd {
+	for _, id := range c.cmap.OSDs() {
+		o := c.osds[id]
+		if o == nil || o == skip || !o.alive || !o.store.Exists(key) {
+			continue
+		}
+		if info, ok := c.cmap.Lookup(id); !ok || !info.Up || !info.In {
+			continue
+		}
+		return o
+	}
+	return nil
+}
+
+// recoverableOnDead reports whether any dead OSD among cands still holds a
+// current (not known-stale) copy of key — the object can come back via a
+// restart or recovery, so an unservable read should fail retryably rather
+// than not-found.
+func (c *Cluster) recoverableOnDead(key store.Key, cands []*osd) bool {
+	for _, o := range cands {
+		if o != nil && !o.alive && o.store.Exists(key) && !c.missed[o.id][key] {
+			return true
+		}
+	}
+	return false
+}
+
+// allOSDs returns every OSD in id order.
+func (c *Cluster) allOSDs() []*osd {
+	out := make([]*osd, 0, len(c.osds))
+	for _, id := range c.cmap.OSDs() {
+		if o := c.osds[id]; o != nil {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // noteMissed records that OSD id did not apply the mutation of key, so its

@@ -110,7 +110,7 @@ func TestDeviceClassRecoveryStaysInClass(t *testing.T) {
 	if _, err := c.ReplaceOSD(0); err != nil {
 		t.Fatal(err)
 	}
-	eng.Go("r", func(p *sim.Proc) { c.Recover(p, 4) })
+	eng.Go("r", func(p *sim.Proc) { c.Recover(p) })
 	eng.Run()
 	for i := 0; i < 20; i++ {
 		holders := 0

@@ -219,8 +219,8 @@ func (g *Gateway) ecWriteFull(p *sim.Proc, pool *Pool, oid string, data []byte) 
 		g.noteOp(0)
 		return err
 	}
-	g.c.netSend(p, g.nic, len(data))
-	g.c.netSend(p, primary.host.nic, len(data))
+	g.c.netSend(p, g.cls, g.nic, len(data))
+	g.c.netSend(p, g.cls, primary.host.nicSched, len(data))
 	err = g.ecApplyFull(p, pool, oid, data, nil)
 	g.noteOp(len(data))
 	return err
@@ -243,45 +243,37 @@ func (g *Gateway) ecApplyFull(p *sim.Proc, pool *Pool, oid string, data []byte, 
 	}
 	pg := g.c.PGOf(pool, oid)
 	want := g.c.want(pool, pg)
+	if len(want) > len(shards) {
+		want = want[:len(shards)]
+	}
 	key := store.Key{Pool: pool.ID, OID: oid}
-	applied := make(map[int]bool, len(want))
-	degraded := false
-	var sigs []*sim.Signal
-	for pos, target := range want {
-		if pos >= len(shards) {
-			break
-		}
-		up, ok := g.c.cmap.Lookup(target.id)
-		if !ok || !up.Up || !target.alive {
-			degraded = true
-			continue // degraded write; recovery will rebuild this shard
-		}
-		applied[target.id] = true
-		target, pos := target, pos
-		txn := store.NewTxn().
-			WriteFull(shards[pos]).
-			SetXattr(xattrECIdx, putU64(uint64(pos))).
-			SetXattr(xattrECLen, putU64(uint64(len(data))))
-		if extraMeta != nil {
-			txn.Ops = append(txn.Ops, extraMeta.Ops...)
-		}
-		sigs = append(sigs, p.Go("ec-shard", func(q *sim.Proc) {
+	g.runFanout(p, fanout{
+		name: "ec-shard",
+		pool: pool, pg: pg, key: key,
+		targets: want,
+		ok: func(_ int, target *osd) bool {
+			up, ok := g.c.cmap.Lookup(target.id)
+			return ok && up.Up && target.alive // else degraded; recovery rebuilds the shard
+		},
+		degraded: true,
+		do: func(q *sim.Proc, pos int, target *osd) {
+			txn := store.NewTxn().
+				WriteFull(shards[pos]).
+				SetXattr(xattrECIdx, putU64(uint64(pos))).
+				SetXattr(xattrECLen, putU64(uint64(len(data))))
+			if extraMeta != nil {
+				txn.Ops = append(txn.Ops, extraMeta.Ops...)
+			}
 			if target != primary {
-				g.c.netSend(q, target.host.nic, len(shards[pos]))
+				g.c.netSend(q, g.cls, target.host.nicSched, len(shards[pos]))
 				target.host.cpu.Use(q, cost.OpOverhead)
 			}
 			if err := target.store.Apply(key, txn); err != nil {
 				panic(fmt.Sprintf("rados: ec shard apply: %v", err))
 			}
-			target.diskWrite(q, cost, txn.Bytes())
-		}))
-	}
-	sim.WaitAll(p, sigs...)
-	if degraded {
-		g.c.reg.Counter("rados_degraded_writes_total").Inc()
-	}
-	g.c.reconcileMissed(key, applied)
-	p.Sleep(cost.NetLatency)
+			target.diskWrite(q, g.cls, cost, txn.Bytes())
+		},
+	})
 	return nil
 }
 
@@ -301,8 +293,8 @@ func (g *Gateway) ecWrite(p *sim.Proc, pool *Pool, oid string, off int64, data [
 		g.noteOp(0)
 		return err
 	}
-	g.c.netSend(p, g.nic, len(data))
-	g.c.netSend(p, primary.host.nic, len(data))
+	g.c.netSend(p, g.cls, g.nic, len(data))
+	g.c.netSend(p, g.cls, primary.host.nicSched, len(data))
 
 	k := pool.Red.K
 	codec := g.c.codecFor(pool)
@@ -375,48 +367,38 @@ func (g *Gateway) ecWrite(p *sim.Proc, pool *Pool, oid string, off int64, data [
 		g.noteOp(0)
 		return ErrOSDDown
 	}
-	applied := make(map[int]bool, len(want))
-	degraded := false
-	var sigs []*sim.Signal
-	for pos, target := range want {
-		if pos >= len(shards) {
-			break
-		}
-		if !eligible(pos, target) {
-			degraded = true
-			continue
-		}
-		applied[target.id] = true
-		target, pos := target, pos
-		txn := store.NewTxn().
-			Write(int64(row0)*StripeUnit, shards[pos]).
-			SetXattr(xattrECIdx, putU64(uint64(pos))).
-			SetXattr(xattrECLen, putU64(uint64(newLen)))
-		sigs = append(sigs, p.Go("ec-rmw", func(q *sim.Proc) {
+	if len(want) > len(shards) {
+		want = want[:len(shards)]
+	}
+	g.runFanout(p, fanout{
+		name: "ec-rmw",
+		pool: pool, pg: pg, key: key,
+		targets:  want,
+		ok:       eligible,
+		degraded: true,
+		do: func(q *sim.Proc, pos int, target *osd) {
 			// EC overwrites commit in two sequential phases per shard
 			// (prepare: ship + log the new rows; commit: apply them) so all
 			// k+m shards stay mutually consistent — Ceph's EC-overwrite
 			// protocol, and the §6.4.1 random-write penalty: two round
 			// trips and two durable writes per shard.
+			txn := store.NewTxn().
+				Write(int64(row0)*StripeUnit, shards[pos]).
+				SetXattr(xattrECIdx, putU64(uint64(pos))).
+				SetXattr(xattrECLen, putU64(uint64(newLen)))
 			if target != primary {
-				g.c.netSend(q, target.host.nic, len(shards[pos]))
+				g.c.netSend(q, g.cls, target.host.nicSched, len(shards[pos]))
 				target.host.cpu.Use(q, cost.OpOverhead)
 			}
-			target.diskWrite(q, cost, txn.Bytes()) // phase 1: WAL
-			q.Sleep(cost.NetLatency)               // commit message
+			target.diskWrite(q, g.cls, cost, txn.Bytes()) // phase 1: WAL
+			q.Sleep(cost.NetLatency)                      // commit message
 			target.host.cpu.Use(q, cost.OpOverhead)
 			if err := target.store.Apply(key, txn); err != nil {
 				panic(fmt.Sprintf("rados: ec rmw apply: %v", err))
 			}
-			target.diskWrite(q, cost, txn.Bytes()) // phase 2: apply
-		}))
-	}
-	sim.WaitAll(p, sigs...)
-	if degraded {
-		g.c.reg.Counter("rados_degraded_writes_total").Inc()
-	}
-	g.c.reconcileMissed(key, applied)
-	p.Sleep(cost.NetLatency)
+			target.diskWrite(q, g.cls, cost, txn.Bytes()) // phase 2: apply
+		},
+	})
 	g.noteOp(len(data))
 	return nil
 }
@@ -439,26 +421,24 @@ func (g *Gateway) ecDelete(p *sim.Proc, pool *Pool, oid string) error {
 	}
 	cost := g.c.cost
 	key := store.Key{Pool: pool.ID, OID: oid}
-	applied := make(map[int]bool)
-	var sigs []*sim.Signal
-	for _, o := range g.c.want(pool, pg) {
-		o := o
-		if up, ok := g.c.cmap.Lookup(o.id); !ok || !up.Up || !o.alive {
-			continue
-		}
-		applied[o.id] = true
-		sigs = append(sigs, p.Go("ec-del", func(q *sim.Proc) {
+	// Deletion must also reach strays and be remembered against dead
+	// holders, or the object would resurrect when they rejoin — runFanout's
+	// missed-write reconciliation covers both.
+	g.runFanout(p, fanout{
+		name: "ec-del",
+		pool: pool, pg: pg, key: key,
+		targets: g.c.want(pool, pg),
+		ok: func(_ int, o *osd) bool {
+			up, ok := g.c.cmap.Lookup(o.id)
+			return ok && up.Up && o.alive
+		},
+		do: func(q *sim.Proc, _ int, o *osd) {
 			q.Sleep(cost.NetLatency)
 			o.host.cpu.Use(q, cost.OpOverhead)
 			_ = o.store.Apply(key, store.NewTxn().Delete())
-			o.diskWrite(q, cost, 0)
-		}))
-	}
-	sim.WaitAll(p, sigs...)
-	// Deletion must also reach strays and be remembered against dead
-	// holders, or the object would resurrect when they rejoin.
-	g.c.reconcileMissed(key, applied)
-	p.Sleep(cost.NetLatency)
+			o.diskWrite(q, g.cls, cost, 0)
+		},
+	})
 	g.noteOp(0)
 	return nil
 }
@@ -500,10 +480,8 @@ func (g *Gateway) ecGather(p *sim.Proc, pool *Pool, oid string, off, length int6
 		// No live holder. If dead OSDs still hold current shards the object
 		// is recoverable — report retryable unavailability, not absence.
 		key := store.Key{Pool: pool.ID, OID: oid}
-		for _, o := range g.c.want(pool, g.c.PGOf(pool, oid)) {
-			if !o.alive && o.store.Exists(key) && !g.c.missed[o.id][key] {
-				return nil, ErrOSDDown
-			}
+		if g.c.recoverableOnDead(key, g.c.want(pool, g.c.PGOf(pool, oid))) {
+			return nil, ErrOSDDown
 		}
 		return nil, ErrNotFound
 	}
@@ -539,9 +517,9 @@ func (g *Gateway) ecGather(p *sim.Proc, pool *Pool, oid string, off, length int6
 			if len(seg) < segLen { // pad short shard tail
 				seg = append(seg, make([]byte, segLen-len(seg))...)
 			}
-			o.diskRead(q, cost, segLen)
+			o.diskRead(q, g.cls, cost, segLen)
 			if o != primary {
-				g.c.netSend(q, primary.host.nic, segLen)
+				g.c.netSend(q, g.cls, primary.host.nicSched, segLen)
 			}
 			segments[idx] = seg
 		})
@@ -567,10 +545,8 @@ func (g *Gateway) ecGather(p *sim.Proc, pool *Pool, oid string, off, length int6
 			// Shards may come back when dead holders restart or recovery
 			// rebuilds them — retryable while that is possible.
 			key := store.Key{Pool: pool.ID, OID: oid}
-			for _, o := range g.c.want(pool, g.c.PGOf(pool, oid)) {
-				if !o.alive && o.store.Exists(key) && !g.c.missed[o.id][key] {
-					return nil, ErrOSDDown
-				}
+			if g.c.recoverableOnDead(key, g.c.want(pool, g.c.PGOf(pool, oid))) {
+				return nil, ErrOSDDown
 			}
 			return nil, ec.ErrTooFew
 		}
@@ -595,9 +571,9 @@ func (g *Gateway) ecRead(p *sim.Proc, pool *Pool, oid string, off, length int64)
 	}
 	if primary := g.firstAliveActing(pool, oid); primary != nil {
 		primary.host.cpu.Use(p, g.c.cost.OpOverhead)
-		g.c.netSend(p, primary.host.nic, len(data))
+		g.c.netSend(p, g.cls, primary.host.nicSched, len(data))
 	}
-	g.c.netSend(p, g.nic, len(data))
+	g.c.netSend(p, g.cls, g.nic, len(data))
 	g.noteOp(len(data))
 	return data, nil
 }
@@ -660,8 +636,8 @@ func (g *Gateway) ecMutate(p *sim.Proc, pool *Pool, oid string, payload int, fn 
 		return err
 	}
 	if payload > 0 {
-		g.c.netSend(p, g.nic, payload)
-		g.c.netSend(p, primary.host.nic, payload)
+		g.c.netSend(p, g.cls, g.nic, payload)
+		g.c.netSend(p, g.cls, primary.host.nicSched, payload)
 	} else {
 		p.Sleep(g.c.cost.NetLatency)
 	}
@@ -704,7 +680,7 @@ func (g *Gateway) ecMutate(p *sim.Proc, pool *Pool, oid string, payload int, fn 
 			if up, ok := g.c.cmap.Lookup(o.id); ok && up.Up && o.alive {
 				applied[o.id] = true
 				_ = o.store.Apply(key, store.NewTxn().Delete())
-				o.diskWrite(p, g.c.cost, 0)
+				o.diskWrite(p, g.cls, g.c.cost, 0)
 			}
 		}
 		g.c.reconcileMissed(key, applied)
@@ -719,30 +695,31 @@ func (g *Gateway) ecMutate(p *sim.Proc, pool *Pool, oid string, payload int, fn 
 	}
 	// Metadata-only: mirror to all live shard holders.
 	key := store.Key{Pool: pool.ID, OID: oid}
-	applied := make(map[int]bool)
-	var sigs []*sim.Signal
-	for _, o := range g.c.ecHolders(pool, oid) {
-		if o == nil {
-			continue
+	holders := g.c.ecHolders(pool, oid)
+	live := 0
+	for _, o := range holders {
+		if o != nil {
+			live++
 		}
-		o := o
-		applied[o.id] = true
-		sigs = append(sigs, p.Go("ec-meta", func(q *sim.Proc) {
+	}
+	if live == 0 {
+		g.noteOp(0)
+		return ErrNotFound
+	}
+	g.runFanout(p, fanout{
+		name: "ec-meta",
+		pool: pool, pg: pg, key: key,
+		targets: holders,
+		ok:      func(_ int, o *osd) bool { return o != nil },
+		do: func(q *sim.Proc, _ int, o *osd) {
 			q.Sleep(g.c.cost.NetLatency)
 			o.host.cpu.Use(q, g.c.cost.OpOverhead)
 			if err := o.store.Apply(key, meta); err != nil {
 				panic(fmt.Sprintf("rados: ec meta apply: %v", err))
 			}
-			o.diskWrite(q, g.c.cost, meta.Bytes())
-		}))
-	}
-	if len(sigs) == 0 {
-		g.noteOp(0)
-		return ErrNotFound
-	}
-	sim.WaitAll(p, sigs...)
-	g.c.reconcileMissed(key, applied)
-	p.Sleep(g.c.cost.NetLatency)
+			o.diskWrite(q, g.cls, g.c.cost, meta.Bytes())
+		},
+	})
 	g.noteOp(meta.Bytes())
 	return nil
 }

@@ -6,39 +6,61 @@ import (
 
 	"dedupstore/internal/crush"
 	"dedupstore/internal/metrics"
+	"dedupstore/internal/qos"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
 )
 
 // Gateway is a client session endpoint: it owns the client-side NIC and
-// issues object operations into the cluster. Foreground gateways feed the
-// cluster's foreground-op counter (watched by dedup rate control);
-// internal gateways (background dedup, recovery helpers) do not.
+// issues object operations into the cluster under one QoS class. Foreground
+// gateways feed the cluster's foreground-op counter (watched by dedup rate
+// control); internal gateways (background dedup, recovery helpers) do not.
 type Gateway struct {
 	c          *Cluster
 	name       string
-	nic        *sim.Resource
+	nic        *qos.Scheduler
+	cls        qos.Class
 	foreground bool
 }
 
 // NewGateway creates a client gateway with its own 10GbE link. Its
-// operations count as foreground I/O.
+// operations count as foreground I/O and run in the client QoS class.
 func (c *Cluster) NewGateway(name string) *Gateway {
-	g := &Gateway{c: c, name: name, nic: sim.NewResource("nic."+name, 1), foreground: true}
-	c.rmon.Watch(g.nic)
-	return g
+	nic := sim.NewResource("nic."+name, 1)
+	c.rmon.Watch(nic)
+	return &Gateway{c: c, name: name, nic: c.qsched.NewScheduler(nic), cls: qos.Client, foreground: true}
 }
 
 // HostGateway creates an internal gateway that shares an existing host's
 // NIC — the vantage point of a background dedup thread running on a storage
-// node. Its operations are not counted as foreground I/O.
+// node. Its operations are not counted as foreground I/O and run in the
+// dedup QoS class.
 func (c *Cluster) HostGateway(hostName string) (*Gateway, error) {
+	return c.HostGatewayClass(hostName, qos.Dedup)
+}
+
+// HostGatewayClass is HostGateway for an explicit QoS class — how GC,
+// scrub and read-redirection sessions pin their traffic to the right
+// scheduler class.
+func (c *Cluster) HostGatewayClass(hostName string, cls qos.Class) (*Gateway, error) {
 	h, ok := c.hosts[hostName]
 	if !ok {
 		return nil, fmt.Errorf("rados: unknown host %q", hostName)
 	}
-	return &Gateway{c: c, name: "internal." + hostName, nic: h.nic, foreground: false}, nil
+	// Internal gateways never feed the foreground-op counter, even in the
+	// client class: a client-class host gateway proxies work some client
+	// gateway already counted (read redirection).
+	return &Gateway{
+		c:          c,
+		name:       "internal." + cls.String() + "." + hostName,
+		nic:        h.nicSched,
+		cls:        cls,
+		foreground: false,
+	}, nil
 }
+
+// Class returns the QoS class this gateway's operations are admitted under.
+func (g *Gateway) Class() qos.Class { return g.cls }
 
 func (g *Gateway) noteOp(bytes int) {
 	if g.foreground {
@@ -50,7 +72,7 @@ func (g *Gateway) noteOp(bytes int) {
 // and payload size. Tracing observes only — it adds no virtual time.
 func (g *Gateway) startOp(p *sim.Proc, kind string, pool *Pool, oid string, bytes int) *metrics.Span {
 	sp := g.c.sink.Start(p, kind)
-	return sp.SetOp(pool.Name, g.c.PGOf(pool, oid).String(), int64(bytes))
+	return sp.SetOp(pool.Name, g.c.PGOf(pool, oid).String(), int64(bytes)).SetClass(g.cls.String())
 }
 
 // finishOp closes the span and records the op's latency and outcome in the
@@ -186,9 +208,9 @@ func (g *Gateway) read(p *sim.Proc, pool *Pool, oid string, off, length int64) (
 		g.noteOp(0)
 		return nil, err
 	}
-	serving.diskRead(p, g.c.cost, len(data))
-	g.c.netSend(p, serving.host.nic, len(data))
-	g.c.netSend(p, g.nic, len(data))
+	serving.diskRead(p, g.cls, g.c.cost, len(data))
+	g.c.netSend(p, g.cls, serving.host.nicSched, len(data))
+	g.c.netSend(p, g.cls, g.nic, len(data))
 	g.noteOp(len(data))
 	return data, nil
 }
@@ -228,25 +250,15 @@ func (g *Gateway) servingOSD(p *sim.Proc, pool *Pool, oid string) (*osd, error) 
 	}
 	// Post-remap window: recovery has not yet copied the object into the new
 	// acting set, but a live in-map OSD still holds the current copy.
-	for _, id := range g.c.cmap.OSDs() {
-		o := g.c.osds[id]
-		if o == nil || !o.alive || !o.store.Exists(key) {
-			continue
-		}
-		if info, ok := g.c.cmap.Lookup(id); !ok || !info.Up || !info.In {
-			continue
-		}
+	if o := g.c.liveInMapHolder(key, nil); o != nil {
 		g.c.reg.Counter("rados_degraded_reads_total").Inc()
 		return o, nil
 	}
 	// No live copy. If a dead OSD holds one that is not known-stale, the
 	// object will come back when that OSD restarts or recovery rebuilds it:
 	// retryable, not not-found.
-	for _, id := range g.c.cmap.OSDs() {
-		o := g.c.osds[id]
-		if o != nil && !o.alive && o.store.Exists(key) && !g.c.missed[id][key] {
-			return nil, ErrOSDDown
-		}
+	if g.c.recoverableOnDead(key, g.c.allOSDs()) {
+		return nil, ErrOSDDown
 	}
 	if acting[0].alive {
 		return acting[0], nil // absent object: primary reports not-found
@@ -374,8 +386,8 @@ func (g *Gateway) mutateWithPayload(p *sim.Proc, pool *Pool, oid string, payload
 	key := store.Key{Pool: pool.ID, OID: oid}
 	// Request (with any bulk payload) crosses the wire.
 	if payload > 0 {
-		g.c.netSend(p, g.nic, payload)
-		g.c.netSend(p, primary.host.nic, payload)
+		g.c.netSend(p, g.cls, g.nic, payload)
+		g.c.netSend(p, g.cls, primary.host.nicSched, payload)
 	} else {
 		p.Sleep(g.c.cost.NetLatency)
 	}
@@ -437,18 +449,7 @@ func (g *Gateway) pullOnDemand(p *sim.Proc, pool *Pool, oid string, primary *osd
 	if primary.store.Exists(key) {
 		return
 	}
-	var src *osd
-	for _, id := range g.c.cmap.OSDs() {
-		o := g.c.osds[id]
-		if o == nil || o == primary || !o.alive || !o.store.Exists(key) {
-			continue
-		}
-		if info, ok := g.c.cmap.Lookup(id); !ok || !info.Up || !info.In {
-			continue
-		}
-		src = o
-		break
-	}
+	src := g.c.liveInMapHolder(key, primary)
 	if src == nil {
 		return
 	}
@@ -458,11 +459,11 @@ func (g *Gateway) pullOnDemand(p *sim.Proc, pool *Pool, oid string, primary *osd
 	}
 	n := objBytes(snap)
 	cost := g.c.cost
-	src.diskRead(p, cost, n)
-	g.c.netSend(p, primary.host.nic, n)
+	src.diskRead(p, g.cls, cost, n)
+	g.c.netSend(p, g.cls, primary.host.nicSched, n)
 	primary.host.cpu.Use(p, cost.OpOverhead)
 	primary.store.Install(key, snap)
-	primary.diskWrite(p, cost, n)
+	primary.diskWrite(p, g.cls, cost, n)
 	g.c.reg.Counter("rados_ondemand_pulls_total").Inc()
 }
 
@@ -475,9 +476,66 @@ func (g *Gateway) applyTxn(p *sim.Proc, pool *Pool, oid string, txn *store.Txn, 
 	defer unlock()
 	// Client -> primary transfer: the payload serializes out of the client
 	// link and into the primary host's link.
-	g.c.netSend(p, g.nic, payload)
-	g.c.netSend(p, primary.host.nic, payload)
+	g.c.netSend(p, g.cls, g.nic, payload)
+	g.c.netSend(p, g.cls, primary.host.nicSched, payload)
 	return g.replicate(p, pool, oid, txn, payload)
+}
+
+// fanout describes one replica/shard fan-out: the shared shape behind every
+// replicated and EC mutation in the I/O path. Targets failing the ok
+// predicate are skipped (optionally counted as one degraded write);
+// preApplied lists OSDs that already hold the mutation (the primary).
+type fanout struct {
+	name       string // child proc name
+	span       string // per-child trace span ("" = untraced children)
+	pool       *Pool
+	pg         crush.PG
+	key        store.Key
+	bytes      int // payload bytes recorded on child spans
+	targets    []*osd
+	preApplied []*osd
+	ok         func(i int, o *osd) bool
+	degraded   bool // count skipped targets as a degraded write
+	extra      []*sim.Signal
+	do         func(q *sim.Proc, i int, o *osd)
+}
+
+// runFanout executes a fan-out: one concurrent child per eligible target
+// plus any extra signals, a single wait for all acks, degraded-write
+// accounting, missed-write reconciliation for the key, and the final ack
+// latency back to the client. Every fanned-out mutation goes through here,
+// so the QoS-classed submit path of replica/shard work changes in one place.
+func (g *Gateway) runFanout(p *sim.Proc, f fanout) {
+	applied := make(map[int]bool, len(f.targets)+len(f.preApplied))
+	for _, o := range f.preApplied {
+		applied[o.id] = true
+	}
+	skipped := false
+	sigs := make([]*sim.Signal, 0, len(f.targets)+len(f.extra))
+	sigs = append(sigs, f.extra...)
+	for i, o := range f.targets {
+		if f.ok != nil && !f.ok(i, o) {
+			skipped = true
+			continue
+		}
+		applied[o.id] = true
+		i, o := i, o
+		sigs = append(sigs, p.Go(f.name, func(q *sim.Proc) {
+			if f.span != "" {
+				sp := g.c.sink.Start(q, f.span).
+					SetOp(f.pool.Name, f.pg.String(), int64(f.bytes)).
+					SetClass(g.cls.String())
+				defer sp.Finish(q)
+			}
+			f.do(q, i, o)
+		}))
+	}
+	sim.WaitAll(p, sigs...)
+	if skipped && f.degraded {
+		g.c.reg.Counter("rados_degraded_writes_total").Inc()
+	}
+	g.c.reconcileMissed(f.key, applied)
+	p.Sleep(g.c.cost.NetLatency) // ack to client
 }
 
 // replicate applies txn at the primary and fans out to replicas, returning
@@ -506,25 +564,23 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 	if err := primary.store.Apply(key, txn); err != nil {
 		return err
 	}
-	applied := map[int]bool{primary.id: true}
-	degraded := false
-	sigs := make([]*sim.Signal, 0, len(acting))
-	sigs = append(sigs, p.Go("journal", func(q *sim.Proc) {
-		jsp := g.c.sink.Start(q, "rados.journal").SetOp(pool.Name, pg.String(), int64(txn.Bytes()))
-		primary.diskWrite(q, cost, txn.Bytes())
+	journal := p.Go("journal", func(q *sim.Proc) {
+		jsp := g.c.sink.Start(q, "rados.journal").
+			SetOp(pool.Name, pg.String(), int64(txn.Bytes())).
+			SetClass(g.cls.String())
+		primary.diskWrite(q, g.cls, cost, txn.Bytes())
 		jsp.Finish(q)
-	}))
-	for _, r := range acting[1:] {
-		r := r
-		if !r.alive {
-			degraded = true
-			continue
-		}
-		applied[r.id] = true
-		sigs = append(sigs, p.Go("replica", func(q *sim.Proc) {
-			rsp := g.c.sink.Start(q, "rados.replica").SetOp(pool.Name, pg.String(), int64(payload))
-			defer rsp.Finish(q)
-			g.c.netSend(q, r.host.nic, payload)
+	})
+	g.runFanout(p, fanout{
+		name: "replica", span: "rados.replica",
+		pool: pool, pg: pg, key: key, bytes: payload,
+		targets:    acting[1:],
+		preApplied: []*osd{primary},
+		ok:         func(_ int, o *osd) bool { return o.alive },
+		degraded:   true,
+		extra:      []*sim.Signal{journal},
+		do: func(q *sim.Proc, _ int, r *osd) {
+			g.c.netSend(q, g.cls, r.host.nicSched, payload)
 			r.host.cpu.Use(q, cost.OpOverhead)
 			if existedBefore && !r.store.Exists(key) {
 				// The replica missed earlier updates (its stale copy was
@@ -533,25 +589,28 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 				// fails and the plain apply below is a safe no-op delete.
 				if snap, err := primary.store.Snapshot(key); err == nil {
 					n := objBytes(snap)
-					g.c.netSend(q, r.host.nic, n)
+					g.c.netSend(q, g.cls, r.host.nicSched, n)
 					r.store.Install(key, snap)
-					r.diskWrite(q, cost, n)
+					r.diskWrite(q, g.cls, cost, n)
 					g.c.reg.Counter("rados_replica_heals_total").Inc()
 					return
 				}
 			}
 			if err := r.store.Apply(key, txn); err != nil {
-				panic(fmt.Sprintf("rados: replica apply diverged: %v", err))
+				// The replica's copy diverged from the primary: quarantine it
+				// instead of killing the process. The copy is dropped so no
+				// degraded read can serve it, the miss is recorded so the
+				// replica re-syncs before serving after a restart, and a
+				// repair scrub restores the redundancy from the primary.
+				g.c.reg.Counter("rados_replica_diverged_total").Inc()
+				_ = r.store.Apply(key, store.NewTxn().Delete())
+				g.c.noteMissed(r.id, key)
+				r.diskWrite(q, g.cls, cost, 0)
+				return
 			}
-			r.diskWrite(q, cost, txn.Bytes())
-		}))
-	}
-	sim.WaitAll(p, sigs...)
-	if degraded {
-		g.c.reg.Counter("rados_degraded_writes_total").Inc()
-	}
-	g.c.reconcileMissed(key, applied)
-	p.Sleep(cost.NetLatency) // ack to client
+			r.diskWrite(q, g.cls, cost, txn.Bytes())
+		},
+	})
 	return nil
 }
 
@@ -573,14 +632,7 @@ func (g *Gateway) PeekXattr(pool *Pool, oid, name string) ([]byte, error) {
 			return o.store.GetXattr(key, name)
 		}
 	}
-	for _, id := range g.c.cmap.OSDs() {
-		o := g.c.osds[id]
-		if o == nil || !o.alive || !o.store.Exists(key) {
-			continue
-		}
-		if info, ok := g.c.cmap.Lookup(id); !ok || !info.Up || !info.In {
-			continue
-		}
+	if o := g.c.liveInMapHolder(key, nil); o != nil {
 		return o.store.GetXattr(key, name)
 	}
 	for _, o := range acting {
@@ -595,7 +647,7 @@ func (g *Gateway) PeekXattr(pool *Pool, oid, name string) ([]byte, error) {
 // gateway — used by layered services (e.g. dedup read redirection) whose
 // final hop is proxied through a storage node back to the client.
 func (g *Gateway) ClientXfer(p *sim.Proc, n int) {
-	g.c.netSend(p, g.nic, n)
+	g.c.netSend(p, g.cls, g.nic, n)
 }
 
 // PrimaryHost returns the host of the acting primary for an object — where
@@ -628,7 +680,7 @@ func (g *Gateway) metaOp(p *sim.Proc, pool *Pool, oid string) (*osd, error) {
 	}
 	p.Sleep(g.c.cost.NetLatency)
 	serving.host.cpu.Use(p, g.c.cost.OpOverhead)
-	serving.diskRead(p, g.c.cost, 512)
+	serving.diskRead(p, g.cls, g.c.cost, 512)
 	p.Sleep(g.c.cost.NetLatency)
 	return serving, nil
 }

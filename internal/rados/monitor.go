@@ -32,9 +32,9 @@ type MonitorConfig struct {
 	// OutAfter is how long an OSD stays down before being marked out,
 	// remapping its PGs (Ceph's mon_osd_down_out_interval).
 	OutAfter time.Duration
-	// RecoverStreams bounds per-OSD recovery parallelism.
-	RecoverStreams int
 	// AutoRecover runs Recover automatically after mark-out and rejoin.
+	// Recovery parallelism is governed by the cluster's QoS recovery class
+	// (its depth cap), not by monitor configuration.
 	AutoRecover bool
 }
 
@@ -42,11 +42,10 @@ type MonitorConfig struct {
 // of Ceph's 20s grace / 600s down-out interval).
 func DefaultMonitorConfig() MonitorConfig {
 	return MonitorConfig{
-		Interval:       500 * time.Millisecond,
-		Grace:          2 * time.Second,
-		OutAfter:       5 * time.Second,
-		RecoverStreams: 4,
-		AutoRecover:    true,
+		Interval:    500 * time.Millisecond,
+		Grace:       2 * time.Second,
+		OutAfter:    5 * time.Second,
+		AutoRecover: true,
 	}
 }
 
@@ -88,9 +87,6 @@ func (c *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 	}
 	if cfg.OutAfter <= 0 {
 		cfg.OutAfter = DefaultMonitorConfig().OutAfter
-	}
-	if cfg.RecoverStreams < 1 {
-		cfg.RecoverStreams = 1
 	}
 	m := &Monitor{
 		c:          c,
@@ -204,7 +200,7 @@ func (m *Monitor) triggerRecover() {
 	m.recovering = true
 	m.c.eng.GoForeground("mon.recover", func(p *sim.Proc) {
 		for {
-			m.c.Recover(p, m.cfg.RecoverStreams)
+			m.c.Recover(p)
 			m.events = append(m.events, MonEvent{At: p.Now(), Kind: "recovered", OSD: -1})
 			if !m.pendingRecover {
 				break

@@ -39,11 +39,10 @@ func (e *testEnv) runMon(t *testing.T, fn func(p *sim.Proc)) {
 
 func monCfg() MonitorConfig {
 	return MonitorConfig{
-		Interval:       100 * time.Millisecond,
-		Grace:          500 * time.Millisecond,
-		OutAfter:       time.Second,
-		RecoverStreams: 4,
-		AutoRecover:    true,
+		Interval:    100 * time.Millisecond,
+		Grace:       500 * time.Millisecond,
+		OutAfter:    time.Second,
+		AutoRecover: true,
 	}
 }
 
@@ -274,7 +273,7 @@ func TestRestartWipesMissedWrites(t *testing.T) {
 		if st.Exists(key) {
 			t.Error("restarted replica still serves the stale pre-crash copy")
 		}
-		e.c.Recover(p, 4)
+		e.c.Recover(p)
 		obj, err := st.Snapshot(key)
 		if err != nil {
 			t.Fatalf("replica missing object after recovery: %v", err)
@@ -316,7 +315,7 @@ func TestECReplaceOSDRebuildsShards(t *testing.T) {
 		t.Error("ReplaceOSD reported no pending recovery for an OSD that held shards")
 	}
 	var stats RecoveryStats
-	e.run(t, func(p *sim.Proc) { stats = e.c.Recover(p, 4) })
+	e.run(t, func(p *sim.Proc) { stats = e.c.Recover(p) })
 	if stats.ShardsRebuilt == 0 {
 		t.Fatalf("ShardsRebuilt = 0 after replacing an EC shard holder (stats=%+v)", stats)
 	}

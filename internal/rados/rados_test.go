@@ -420,7 +420,7 @@ func TestRecoveryReplicated(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats RecoveryStats
-	e.run(t, func(p *sim.Proc) { stats = e.c.Recover(p, 4) })
+	e.run(t, func(p *sim.Proc) { stats = e.c.Recover(p) })
 	if stats.Duration() <= 0 {
 		t.Fatal("recovery took no virtual time")
 	}
@@ -469,7 +469,7 @@ func TestRecoveryEC(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats RecoveryStats
-	e.run(t, func(p *sim.Proc) { stats = e.c.Recover(p, 4) })
+	e.run(t, func(p *sim.Proc) { stats = e.c.Recover(p) })
 	_ = stats
 	for i := 0; i < n; i++ {
 		holders := 0
@@ -509,7 +509,7 @@ func TestRebalanceOnOSDAdd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	e.run(t, func(p *sim.Proc) { e.c.Recover(p, 4) })
+	e.run(t, func(p *sim.Proc) { e.c.Recover(p) })
 	onNew := 0
 	for id := 16; id < 20; id++ {
 		st, _ := e.c.OSDStore(id)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dedupstore/internal/qos"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
 )
@@ -94,9 +95,11 @@ type recoveryTask struct {
 // re-replicates objects onto OSDs that should hold them but do not,
 // rebuilds missing EC shards from surviving shards, and removes objects
 // from OSDs that are no longer in their PG's mapping (rebalancing).
-// streamsPerOSD bounds per-destination parallelism (Ceph's
-// osd_recovery_max_active analog).
-func (c *Cluster) Recover(p *sim.Proc, streamsPerOSD int) RecoveryStats {
+// Per-destination parallelism is bounded by the recovery class's QoS depth
+// cap (Ceph's osd_recovery_max_active analog), and every byte it moves is
+// admitted under the recovery class so foreground I/O keeps priority.
+func (c *Cluster) Recover(p *sim.Proc) RecoveryStats {
+	streamsPerOSD := c.qsched.MaxDepth(qos.Recovery)
 	if streamsPerOSD < 1 {
 		streamsPerOSD = 1
 	}
@@ -269,13 +272,15 @@ func (c *Cluster) Recover(p *sim.Proc, streamsPerOSD int) RecoveryStats {
 }
 
 func (c *Cluster) runRecoveryTask(q *sim.Proc, t recoveryTask, stats *RecoveryStats) {
-	sp := c.sink.Start(q, "recover."+t.kind).SetOp(t.pool.Name, c.PGOf(t.pool, t.key.OID).String(), 0)
+	sp := c.sink.Start(q, "recover."+t.kind).
+		SetOp(t.pool.Name, c.PGOf(t.pool, t.key.OID).String(), 0).
+		SetClass(qos.Recovery.String())
 	defer sp.Finish(q)
 	cost := c.cost
 	switch t.kind {
 	case "delete":
 		_ = t.dst.store.Apply(t.key, store.NewTxn().Delete())
-		t.dst.diskWrite(q, cost, 0)
+		t.dst.diskWrite(q, qos.Recovery, cost, 0)
 		stats.ObjectsDeleted++
 	case "copy":
 		snap, err := t.src.store.Snapshot(t.key)
@@ -283,11 +288,11 @@ func (c *Cluster) runRecoveryTask(q *sim.Proc, t recoveryTask, stats *RecoverySt
 			return
 		}
 		n := objBytes(snap)
-		t.src.diskRead(q, cost, n)
-		c.netSend(q, t.dst.host.nic, n)
+		t.src.diskRead(q, qos.Recovery, cost, n)
+		c.netSend(q, qos.Recovery, t.dst.host.nicSched, n)
 		t.dst.host.cpu.Use(q, cost.OpOverhead)
 		t.dst.store.Install(t.key, snap)
-		t.dst.diskWrite(q, cost, n)
+		t.dst.diskWrite(q, qos.Recovery, cost, n)
 		stats.ObjectsCopied++
 		stats.BytesMoved += int64(n)
 	case "rebuild":
@@ -341,8 +346,8 @@ func (c *Cluster) rebuildShard(q *sim.Proc, t recoveryTask, stats *RecoveryStats
 		}
 		shards[s.idx] = snap.Data
 		sigs = append(sigs, q.Go("rebuild-read", func(r *sim.Proc) {
-			s.osd.diskRead(r, cost, len(snap.Data))
-			c.netSend(r, t.dst.host.nic, len(snap.Data))
+			s.osd.diskRead(r, qos.Recovery, cost, len(snap.Data))
+			c.netSend(r, qos.Recovery, t.dst.host.nicSched, len(snap.Data))
 		}))
 	}
 	if got < k || template == nil {
@@ -360,7 +365,7 @@ func (c *Cluster) rebuildShard(q *sim.Proc, t recoveryTask, stats *RecoveryStats
 	}
 	obj.Xattr[xattrECIdx] = putU64(uint64(t.idx))
 	t.dst.store.Install(t.key, obj)
-	t.dst.diskWrite(q, cost, shardLen)
+	t.dst.diskWrite(q, qos.Recovery, cost, shardLen)
 	stats.ShardsRebuilt++
 	stats.BytesMoved += int64(shardLen)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dedupstore/internal/qos"
 	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
 )
@@ -41,18 +42,46 @@ func (s ScrubStats) Clean() bool { return len(s.Errors) == 0 }
 // must verify and every shard's mirrored metadata must agree. With repair
 // set, inconsistent replicas are rewritten from the authoritative copy
 // (the primary, like Ceph's pg repair) and missing redundancy is noted for
-// Recover.
+// Recover. Objects are scrubbed by a worker pool whose width is the scrub
+// class's QoS depth cap — scrub paces itself purely through the scheduler —
+// with per-object results merged back in oid order so the report stays
+// deterministic.
 func (c *Cluster) Scrub(p *sim.Proc, pool *Pool, repair bool) ScrubStats {
-	stats := ScrubStats{}
 	oids := c.ListObjects(pool)
 	sort.Strings(oids)
-	for _, oid := range oids {
-		stats.Objects++
-		if pool.Red.Kind == Erasure {
-			c.scrubEC(p, pool, oid, repair, &stats)
-		} else {
-			c.scrubReplicated(p, pool, oid, repair, &stats)
-		}
+	workers := c.qsched.MaxDepth(qos.Scrub)
+	if workers < 1 {
+		workers = 1
+	}
+	slots := make([]ScrubStats, len(oids))
+	queue := sim.NewQueue[int]()
+	for i := range oids {
+		queue.PushFrom(c.eng, i)
+	}
+	var sigs []*sim.Signal
+	for w := 0; w < workers; w++ {
+		sigs = append(sigs, p.Go("scrub", func(q *sim.Proc) {
+			for {
+				i, ok := queue.TryPop()
+				if !ok {
+					return
+				}
+				slots[i].Objects++
+				if pool.Red.Kind == Erasure {
+					c.scrubEC(q, pool, oids[i], repair, &slots[i])
+				} else {
+					c.scrubReplicated(q, pool, oids[i], repair, &slots[i])
+				}
+			}
+		}))
+	}
+	sim.WaitAll(p, sigs...)
+	stats := ScrubStats{}
+	for _, s := range slots {
+		stats.Objects += s.Objects
+		stats.BytesScanned += s.BytesScanned
+		stats.Errors = append(stats.Errors, s.Errors...)
+		stats.Repaired += s.Repaired
 	}
 	return stats
 }
@@ -71,7 +100,7 @@ func (c *Cluster) scrubReplicated(p *sim.Proc, pool *Pool, oid string, repair bo
 		stats.Errors = append(stats.Errors, ScrubError{Key: key, OSD: primary.id, Detail: "primary missing object"})
 		return
 	}
-	primary.diskRead(p, c.cost, len(auth.Data))
+	primary.diskRead(p, qos.Scrub, c.cost, len(auth.Data))
 	primary.host.cpu.Use(p, c.cost.Checksum(len(auth.Data)))
 	stats.BytesScanned += int64(len(auth.Data))
 
@@ -84,7 +113,7 @@ func (c *Cluster) scrubReplicated(p *sim.Proc, pool *Pool, oid string, repair bo
 			}
 			continue
 		}
-		rep.diskRead(p, c.cost, len(got.Data))
+		rep.diskRead(p, qos.Scrub, c.cost, len(got.Data))
 		rep.host.cpu.Use(p, c.cost.Checksum(len(got.Data)))
 		stats.BytesScanned += int64(len(got.Data))
 		if detail := diffObjects(auth, got); detail != "" {
@@ -97,9 +126,9 @@ func (c *Cluster) scrubReplicated(p *sim.Proc, pool *Pool, oid string, repair bo
 }
 
 func (c *Cluster) repairCopy(p *sim.Proc, key store.Key, src, dst *osd, auth *store.Object, stats *ScrubStats) {
-	c.netSend(p, dst.host.nic, auth.PayloadBytes())
+	c.netSend(p, qos.Scrub, dst.host.nicSched, auth.PayloadBytes())
 	dst.store.Install(key, auth)
-	dst.diskWrite(p, c.cost, auth.PayloadBytes())
+	dst.diskWrite(p, qos.Scrub, c.cost, auth.PayloadBytes())
 	stats.Repaired++
 }
 
@@ -120,7 +149,7 @@ func (c *Cluster) scrubEC(p *sim.Proc, pool *Pool, oid string, repair bool, stat
 		if err != nil {
 			continue
 		}
-		o.diskRead(p, c.cost, len(snap.Data))
+		o.diskRead(p, qos.Scrub, c.cost, len(snap.Data))
 		stats.BytesScanned += int64(len(snap.Data))
 		shards[idx] = snap.Data
 		if len(snap.Data) > size {
@@ -171,7 +200,7 @@ func (c *Cluster) scrubEC(p *sim.Proc, pool *Pool, oid string, repair bool, stat
 					txn.SetXattr(xattrECLen, lenRaw)
 				}
 				_ = o.store.Apply(key, txn)
-				o.diskWrite(p, c.cost, len(enc[idx]))
+				o.diskWrite(p, qos.Scrub, c.cost, len(enc[idx]))
 				stats.Repaired++
 			}
 		}

@@ -1,0 +1,154 @@
+package rados
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dedupstore/internal/sim"
+	"dedupstore/internal/store"
+)
+
+func TestPoolStatsReplicated(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, func(p *sim.Proc) {
+		if err := e.gw.WriteFull(p, e.rep, "a", make([]byte, 1000)); err != nil {
+			e.fail(err)
+		}
+		if err := e.gw.WriteFull(p, e.rep, "b", make([]byte, 3000)); err != nil {
+			e.fail(err)
+		}
+	})
+	ps := e.c.PoolStats(e.rep)
+	if ps.Name != "rep" {
+		t.Errorf("Name = %q", ps.Name)
+	}
+	if ps.Objects != 2 {
+		t.Errorf("Objects = %d, want 2", ps.Objects)
+	}
+	if ps.LogicalBytes != 4000 {
+		t.Errorf("LogicalBytes = %d, want 4000 (each object counted once)", ps.LogicalBytes)
+	}
+	// ×2 replication: the raw footprint covers both replicas.
+	if ps.StoredPhysical < ps.LogicalBytes {
+		t.Errorf("StoredPhysical = %d < logical %d", ps.StoredPhysical, ps.LogicalBytes)
+	}
+	if ps.StoredTotal() != ps.StoredPhysical+ps.StoredMetadata {
+		t.Error("StoredTotal is not physical+metadata")
+	}
+}
+
+func TestPoolStatsErasureLogicalBytes(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, func(p *sim.Proc) {
+		if err := e.gw.WriteFull(p, e.ecp, "obj", make([]byte, 6000)); err != nil {
+			e.fail(err)
+		}
+	})
+	ps := e.c.PoolStats(e.ecp)
+	if ps.Objects != 1 {
+		t.Fatalf("Objects = %d, want 1", ps.Objects)
+	}
+	// EC shards are fractional; logical size must come from the stripe
+	// metadata, not a shard's on-disk size.
+	if ps.LogicalBytes != 6000 {
+		t.Errorf("LogicalBytes = %d, want 6000", ps.LogicalBytes)
+	}
+}
+
+func TestListObjectsSortedAndPoolScoped(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, func(p *sim.Proc) {
+		for _, oid := range []string{"c", "a", "b"} {
+			if err := e.gw.WriteFull(p, e.rep, oid, []byte("x")); err != nil {
+				e.fail(err)
+			}
+		}
+		if err := e.gw.WriteFull(p, e.ecp, "other-pool", make([]byte, 100)); err != nil {
+			e.fail(err)
+		}
+	})
+	got := e.c.ListObjects(e.rep)
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ListObjects = %v, want %v", got, want)
+	}
+}
+
+func TestTotalUsageAggregatesAllOSDs(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			if err := e.gw.WriteFull(p, e.rep, fmt.Sprintf("o%d", i), make([]byte, 2048)); err != nil {
+				e.fail(err)
+			}
+		}
+	})
+	total := e.c.TotalUsage()
+	var want store.Usage
+	for _, id := range e.c.OSDs() {
+		st, ok := e.c.OSDStore(id)
+		if !ok {
+			t.Fatalf("no store for osd %d", id)
+		}
+		u := st.Usage()
+		want.Objects += u.Objects
+		want.Data += u.Data
+		want.Physical += u.Physical
+		want.Metadata += u.Metadata
+	}
+	if total != want {
+		t.Errorf("TotalUsage = %+v, want per-OSD sum %+v", total, want)
+	}
+	if total.Objects < 16 { // 8 objects × 2 replicas
+		t.Errorf("Objects = %d, want >= 16", total.Objects)
+	}
+}
+
+// Stats must stay correct when OSDs are down/out: a down OSD's device still
+// holds its bytes (footprint), and objects with a surviving replica are
+// still listed and counted once.
+func TestStatsWithDownAndReplacedOSD(t *testing.T) {
+	e := newEnv(t)
+	e.run(t, func(p *sim.Proc) {
+		if err := e.gw.WriteFull(p, e.rep, "obj", make([]byte, 4096)); err != nil {
+			e.fail(err)
+		}
+	})
+	var holder = -1
+	for _, id := range e.c.OSDs() {
+		st, _ := e.c.OSDStore(id)
+		if st.Exists(store.Key{Pool: e.rep.ID, OID: "obj"}) {
+			holder = id
+			break
+		}
+	}
+	if holder < 0 {
+		t.Fatal("no holder found")
+	}
+	before := e.c.PoolStats(e.rep)
+	if err := e.c.FailOSD(holder); err != nil {
+		t.Fatal(err)
+	}
+	down := e.c.PoolStats(e.rep)
+	if down.Objects != 1 || down.LogicalBytes != 4096 {
+		t.Errorf("down OSD: Objects=%d LogicalBytes=%d, want 1/4096", down.Objects, down.LogicalBytes)
+	}
+	if down.StoredPhysical != before.StoredPhysical {
+		t.Errorf("down OSD changed footprint: %d -> %d (bytes are still on the device)",
+			before.StoredPhysical, down.StoredPhysical)
+	}
+	// Replace with a fresh device: the footprint drops to the survivor's copy.
+	if _, err := e.c.ReplaceOSD(holder); err != nil {
+		t.Fatal(err)
+	}
+	replaced := e.c.PoolStats(e.rep)
+	if replaced.Objects != 1 {
+		t.Errorf("replaced OSD: Objects = %d, want 1 (surviving replica)", replaced.Objects)
+	}
+	if replaced.StoredPhysical >= before.StoredPhysical {
+		t.Errorf("replaced OSD: StoredPhysical = %d, want < %d", replaced.StoredPhysical, before.StoredPhysical)
+	}
+	if got := e.c.ListObjects(e.rep); len(got) != 1 || got[0] != "obj" {
+		t.Errorf("ListObjects = %v, want [obj]", got)
+	}
+}

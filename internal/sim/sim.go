@@ -350,6 +350,55 @@ func WaitAll(p *Proc, sigs ...*Signal) {
 }
 
 // ---------------------------------------------------------------------------
+// Cond: a reusable condition variable.
+
+// Cond is a reusable wait/notify point, the DES analogue of sync.Cond:
+// processes park on Wait and are released FIFO by Signal (one) or Broadcast
+// (all). Unlike Signal it never latches, so it suits recurring conditions
+// ("queue depth dropped below the cap") where waiters must re-check their
+// predicate in a loop:
+//
+//	for !ready() {
+//		cond.Wait(p)
+//	}
+//
+// The re-check matters: between a Signal and the woken process actually
+// running, another process may consume the condition.
+type Cond struct {
+	waiters []*Proc
+}
+
+// NewCond returns a condition with no waiters.
+func NewCond() *Cond { return &Cond{} }
+
+// Waiters reports the number of parked processes.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Wait parks p until a Signal or Broadcast releases it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal(p *Proc) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.e.schedule(p.Now(), w, nil)
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast(p *Proc) {
+	for _, w := range c.waiters {
+		p.e.schedule(p.Now(), w, nil)
+	}
+	c.waiters = nil
+}
+
+// ---------------------------------------------------------------------------
 // Resource: a FIFO server pool (disk, NIC, CPU core set).
 
 // Resource models a station with fixed concurrency: at most Cap holders at a

@@ -436,3 +436,76 @@ func TestRunResumesDaemonsAcrossCalls(t *testing.T) {
 		t.Fatalf("daemon did not resume on second Run: %d -> %d", first, ticks)
 	}
 }
+
+func TestCondSignalWakesFIFO(t *testing.T) {
+	e := New(1)
+	c := NewCond()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.GoAt(Time(i)*Time(time.Millisecond), "waiter", func(p *Proc) {
+			c.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		for i := 0; i < 3; i++ {
+			c.Signal(p)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("cond woke waiters out of FIFO order: %v", order)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	e := New(1)
+	c := NewCond()
+	woke := 0
+	for i := 0; i < 4; i++ {
+		e.Go("waiter", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	e.Go("caster", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		if c.Waiters() != 4 {
+			t.Errorf("Waiters() = %d, want 4", c.Waiters())
+		}
+		c.Broadcast(p)
+	})
+	e.Run()
+	if woke != 4 {
+		t.Fatalf("broadcast woke %d of 4 waiters", woke)
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("waiters remain after broadcast: %d", c.Waiters())
+	}
+}
+
+func TestCondSignalNoWaitersIsNoop(t *testing.T) {
+	e := New(1)
+	c := NewCond()
+	e.Go("signaler", func(p *Proc) {
+		c.Signal(p) // must not latch: a later Wait still parks
+		done := false
+		p.Go("waiter", func(q *Proc) {
+			c.Wait(q)
+			done = true
+		})
+		p.Sleep(time.Millisecond)
+		if done {
+			t.Errorf("Wait returned without a Signal; Cond must not latch like Signal")
+		}
+		c.Signal(p)
+		p.Sleep(time.Millisecond)
+		if !done {
+			t.Errorf("waiter never woke after Signal")
+		}
+	})
+	e.Run()
+}

@@ -46,6 +46,11 @@ type Store struct {
 	mu      sync.Mutex
 	objects map[Key]*Object
 	sizeFn  func([]byte) int // physical footprint model (compression)
+
+	// Fault injection (tests only): the next failApplies Apply calls fail
+	// with failErr without mutating the store.
+	failApplies int
+	failErr     error
 }
 
 // Option configures a Store.
@@ -55,6 +60,17 @@ type Option func(*Store)
 // to model Btrfs compression under the OSD.
 func WithSizeFn(fn func([]byte) int) Option {
 	return func(s *Store) { s.sizeFn = fn }
+}
+
+// FailApplies arms fault injection: the next n Apply calls return err
+// without mutating the store. Tests use it to model a device that can no
+// longer commit transactions its peers applied (torn write, bad sector) —
+// the diverged-replica case.
+func (s *Store) FailApplies(n int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failApplies = n
+	s.failErr = err
 }
 
 // New returns an empty store.
@@ -185,6 +201,10 @@ func (t *Txn) Empty() bool { return len(t.Ops) == 0 }
 func (s *Store) Apply(k Key, t *Txn) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.failApplies > 0 {
+		s.failApplies--
+		return s.failErr
+	}
 	obj := s.objects[k]
 	for _, op := range t.Ops {
 		switch op.Kind {
