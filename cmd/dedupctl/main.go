@@ -8,7 +8,7 @@
 //
 //	dedupctl [flags] <action>...
 //
-// Actions: status df metrics qos scrub corrupt repair gc evict verify chaos
+// Actions: status df metrics qos scrub corrupt repair gc audit evict verify chaos
 package main
 
 import (
@@ -42,7 +42,7 @@ func main() {
 		traceIn  = flag.String("trace", "", "replay this block trace instead of synthetic fill")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos scrub corrupt repair gc evict verify chaos\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos scrub corrupt repair gc audit evict verify chaos\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -93,6 +93,8 @@ func main() {
 			c.corrupt()
 		case "gc":
 			c.gc()
+		case "audit":
+			c.audit()
 		case "evict":
 			c.evict()
 		case "verify":
@@ -237,6 +239,21 @@ func (c *ctl) gc() {
 		}
 		fmt.Printf("gc: %d chunks scanned, %d refs checked, %d stale, %d chunks deleted (%.2f MB reclaimed)\n",
 			stats.ChunksScanned, stats.RefsChecked, stats.StaleRefs, stats.ChunksDeleted, float64(stats.BytesReclaimed)/1e6)
+		if stats.IntentsPromoted+stats.IntentsAborted+stats.CountsFixed+stats.RacedSkips+stats.BadRefKeys > 0 {
+			fmt.Printf("gc: %d intents promoted, %d aborted, %d counts fixed, %d raced skips, %d bad keys\n",
+				stats.IntentsPromoted, stats.IntentsAborted, stats.CountsFixed, stats.RacedSkips, stats.BadRefKeys)
+		}
+	})
+}
+
+func (c *ctl) audit() {
+	c.world.Run(func(p *dedupstore.Proc) {
+		stats, err := c.store.Audit(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("audit: %d objects, %d bindings checked, %d intents promoted, %d refs repaired, %d counts fixed, %d lost chunks\n",
+			stats.MetadataObjects, stats.BindingsChecked, stats.IntentsPromoted, stats.RefsRepaired, stats.CountsFixed, stats.LostChunks)
 	})
 }
 

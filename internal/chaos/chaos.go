@@ -186,6 +186,29 @@ func (in *Injector) fire(f Fault, revert bool) {
 	in.events = append(in.events, ev)
 }
 
+// CrashBurst builds a deterministic high-rate kill schedule: n OSD crashes
+// spread evenly over [start, start+span), each lasting down, cycling through
+// the target OSDs in order. Unlike Generate it uses no randomness at all, so
+// the burst is identical for every seed — the point is to hammer a specific
+// window (a flush cycle, a GC pass) with kills at a rate Generate's overlap
+// cap would reject. Keep down below the inter-crash spacing (span/n) if the
+// pools only tolerate one dead OSD at a time.
+func CrashBurst(osds []int, n int, start, span, down time.Duration) Schedule {
+	if n <= 0 || len(osds) == 0 {
+		return nil
+	}
+	s := make(Schedule, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, Fault{
+			At:       start + span*time.Duration(i)/time.Duration(n),
+			Kind:     KindCrashOSD,
+			OSD:      osds[i%len(osds)],
+			Duration: down,
+		})
+	}
+	return s
+}
+
 // GenConfig bounds a generated schedule.
 type GenConfig struct {
 	// Faults is how many faults to draw.

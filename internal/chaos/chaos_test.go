@@ -160,3 +160,35 @@ func TestGenerateRespectsMaxCrashed(t *testing.T) {
 		}
 	}
 }
+
+func TestCrashBurst(t *testing.T) {
+	osds := []int{3, 5, 7}
+	s := CrashBurst(osds, 5, time.Second, 6*time.Second, 900*time.Millisecond)
+	if len(s) != 5 {
+		t.Fatalf("got %d faults, want 5", len(s))
+	}
+	for i, f := range s {
+		if f.Kind != KindCrashOSD {
+			t.Errorf("fault %d kind = %s", i, f.Kind)
+		}
+		if f.OSD != osds[i%len(osds)] {
+			t.Errorf("fault %d targets osd.%d, want osd.%d", i, f.OSD, osds[i%len(osds)])
+		}
+		want := time.Second + 6*time.Second*time.Duration(i)/5
+		if f.At != want {
+			t.Errorf("fault %d at %v, want %v", i, f.At, want)
+		}
+	}
+	// Spacing (1.2s) exceeds the down time (0.9s): windows must not overlap.
+	for i := 1; i < len(s); i++ {
+		if s[i-1].At+s[i-1].Duration > s[i].At {
+			t.Fatalf("crash windows overlap: %v then %v", s[i-1], s[i])
+		}
+	}
+	if CrashBurst(nil, 5, 0, time.Second, time.Second) != nil {
+		t.Error("expected nil schedule without targets")
+	}
+	if CrashBurst(osds, 0, 0, time.Second, time.Second) != nil {
+		t.Error("expected nil schedule for n=0")
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/store"
+)
+
+// fabricateBinding writes a minimal metadata object whose chunk map binds
+// [0,4096) to chunkOID — the state a crashed flush leaves after phase 2.
+func fabricateBinding(t *testing.T, e *env, p *sim.Proc, oid, chunkOID string) {
+	t.Helper()
+	cm := &ChunkMap{Entries: []Entry{{Start: 0, End: 4096, ChunkID: chunkOID}}}
+	gw := e.s.hostGW(anyHost(e.s))
+	err := gw.Mutate(p, e.s.meta, oid, func(rados.View) (*store.Txn, error) {
+		return store.NewTxn().Create().SetXattr(XattrChunkMap, cm.Marshal()), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuditPromotesCrashedIntent: a crash between the chunk-map binding
+// (phase 2) and the commit (phase 3) leaves an intent whose reference the
+// audit pass must finish committing.
+func TestAuditPromotesCrashedIntent(t *testing.T) {
+	e := newDedupEnv(t, func(cfg *Config) { cfg.FalsePositiveRefs = true })
+	data := bytes.Repeat([]byte{3}, 4096)
+	chunkOID := FingerprintID(data)
+	ref := Ref{Pool: e.s.meta.ID, OID: "victim", Offset: 0}
+
+	e.run(t, func(p *sim.Proc) {
+		gw := e.s.hostGW(anyHost(e.s))
+		// Phase 1 landed (chunk + intent), phase 2 landed (binding), then
+		// the flush died before phase 3.
+		if err := gw.Mutate(p, e.s.chunk, chunkOID, putIntentFn(data, ref, p.Now(), nil)); err != nil {
+			t.Fatal(err)
+		}
+		fabricateBinding(t, e, p, "victim", chunkOID)
+
+		au, err := e.s.Audit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if au.IntentsPromoted != 1 {
+			t.Errorf("IntentsPromoted = %d, want 1", au.IntentsPromoted)
+		}
+		if au.LostChunks != 0 {
+			t.Errorf("LostChunks = %d, want 0", au.LostChunks)
+		}
+		// The reference must now be committed and counted.
+		keys, err := gw.OmapList(p, e.s.chunk, chunkOID, 0)
+		if err != nil || len(keys) != 1 || keys[0] != ref.Key() {
+			t.Fatalf("post-audit omap = %v, %v (want just the committed ref)", keys, err)
+		}
+		rc, err := gw.GetXattr(p, e.s.chunk, chunkOID, XattrRefCount)
+		if err != nil || mustCount(t, rc) != 1 {
+			t.Fatalf("post-audit count = %d, %v (want 1)", mustCount(t, rc), err)
+		}
+		// A second pass finds nothing left to do.
+		if au, err := e.s.Audit(p); err != nil || !au.Clean() {
+			t.Errorf("second audit not clean: %+v, %v", au, err)
+		}
+	})
+	e.checkIntegrity(t)
+}
+
+// TestAuditRepairsMissingRef: a binding whose chunk lost both the reference
+// and the intent is repaired by re-adding the committed reference — the
+// binding is authoritative.
+func TestAuditRepairsMissingRef(t *testing.T) {
+	e := newDedupEnv(t, func(cfg *Config) { cfg.FalsePositiveRefs = true })
+	data := bytes.Repeat([]byte{4}, 4096)
+	chunkOID := FingerprintID(data)
+
+	e.run(t, func(p *sim.Proc) {
+		gw := e.s.hostGW(anyHost(e.s))
+		// Chunk exists with no trace of the reference the binding implies.
+		err := gw.Mutate(p, e.s.chunk, chunkOID, func(rados.View) (*store.Txn, error) {
+			return store.NewTxn().WriteFull(data).SetXattr(XattrRefCount, encodeRC(0, 1)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fabricateBinding(t, e, p, "orphan", chunkOID)
+
+		au, err := e.s.Audit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if au.RefsRepaired != 1 {
+			t.Errorf("RefsRepaired = %d, want 1", au.RefsRepaired)
+		}
+		// GC must now agree the chunk is live.
+		st, err := e.s.GC(p)
+		if err != nil || st.ChunksDeleted != 0 || st.StaleRefs != 0 {
+			t.Errorf("GC after repair: deleted=%d stale=%d, %v", st.ChunksDeleted, st.StaleRefs, err)
+		}
+	})
+	e.checkIntegrity(t)
+}
+
+// TestAuditReportsLostChunk: a binding pointing at a chunk that does not
+// exist, with no cached copy, is unrecoverable — the audit reports it and
+// repairs nothing.
+func TestAuditReportsLostChunk(t *testing.T) {
+	e := newDedupEnv(t, func(cfg *Config) { cfg.FalsePositiveRefs = true })
+	e.run(t, func(p *sim.Proc) {
+		fabricateBinding(t, e, p, "lost", "chk.deadbeef")
+		au, err := e.s.Audit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if au.LostChunks != 1 {
+			t.Errorf("LostChunks = %d, want 1", au.LostChunks)
+		}
+		if au.IntentsPromoted != 0 || au.RefsRepaired != 0 {
+			t.Errorf("unexpected repairs: %+v", au)
+		}
+	})
+}
+
+// TestGCAbortsExpiredIntent: an intent whose lease ran out with no binding
+// (crash after phase 1) is aborted and the now-unreferenced chunk deleted.
+func TestGCAbortsExpiredIntent(t *testing.T) {
+	e := newDedupEnv(t, func(cfg *Config) { cfg.FalsePositiveRefs = true })
+	data := bytes.Repeat([]byte{5}, 4096)
+	chunkOID := FingerprintID(data)
+	ref := Ref{Pool: e.s.meta.ID, OID: "gone", Offset: 0}
+
+	e.run(t, func(p *sim.Proc) {
+		gw := e.s.hostGW(anyHost(e.s))
+		if err := gw.Mutate(p, e.s.chunk, chunkOID, putIntentFn(data, ref, p.Now()+sim.Time(time.Second), nil)); err != nil {
+			t.Fatal(err)
+		}
+		// Before the lease expires the chunk is pinned.
+		st, err := e.s.GC(p)
+		if err != nil || st.ChunksDeleted != 0 || st.IntentsAborted != 0 {
+			t.Fatalf("GC inside lease: deleted=%d aborted=%d, %v", st.ChunksDeleted, st.IntentsAborted, err)
+		}
+		p.Sleep(2 * time.Second)
+		st, err = e.s.GC(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.IntentsAborted != 1 || st.ChunksDeleted != 1 {
+			t.Errorf("GC after lease: aborted=%d deleted=%d, want 1/1", st.IntentsAborted, st.ChunksDeleted)
+		}
+		if st.BytesReclaimed != 4096 {
+			t.Errorf("BytesReclaimed = %d, want 4096", st.BytesReclaimed)
+		}
+		ok, err := gw.Exists(p, e.s.chunk, chunkOID)
+		if err != nil || ok {
+			t.Fatalf("chunk still exists after abort (ok=%v err=%v)", ok, err)
+		}
+	})
+}
+
+// TestGCPromotesExpiredIntentWithBinding: an expired intent whose binding
+// does exist (commit lost in a crash) is promoted by GC, not aborted.
+func TestGCPromotesExpiredIntentWithBinding(t *testing.T) {
+	e := newDedupEnv(t, func(cfg *Config) { cfg.FalsePositiveRefs = true })
+	data := bytes.Repeat([]byte{6}, 4096)
+	chunkOID := FingerprintID(data)
+	ref := Ref{Pool: e.s.meta.ID, OID: "bound", Offset: 0}
+
+	e.run(t, func(p *sim.Proc) {
+		gw := e.s.hostGW(anyHost(e.s))
+		if err := gw.Mutate(p, e.s.chunk, chunkOID, putIntentFn(data, ref, p.Now(), nil)); err != nil {
+			t.Fatal(err)
+		}
+		fabricateBinding(t, e, p, "bound", chunkOID)
+		p.Sleep(time.Second)
+		st, err := e.s.GC(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.IntentsPromoted != 1 || st.ChunksDeleted != 0 {
+			t.Errorf("promoted=%d deleted=%d, want 1/0", st.IntentsPromoted, st.ChunksDeleted)
+		}
+		rc, err := gw.GetXattr(p, e.s.chunk, chunkOID, XattrRefCount)
+		if err != nil || mustCount(t, rc) != 1 {
+			t.Fatalf("count = %d, %v (want 1)", mustCount(t, rc), err)
+		}
+	})
+	e.checkIntegrity(t)
+}
+
+// TestScrubReportsCorruptRefcount: a short/garbled dedup.rc xattr used to
+// silently decode as count 0; it must surface as a scrub issue, and GC must
+// rebuild the count from the reference table.
+func TestScrubReportsCorruptRefcount(t *testing.T) {
+	e := newDedupEnv(t, func(cfg *Config) { cfg.FalsePositiveRefs = true })
+	data := bytes.Repeat([]byte{7}, 4096)
+	writeTwo(t, e, data)
+	e.drain(t)
+	chunkOID := FingerprintID(data)
+
+	e.run(t, func(p *sim.Proc) {
+		gw := e.s.hostGW(anyHost(e.s))
+		err := gw.Mutate(p, e.s.chunk, chunkOID, func(rados.View) (*store.Txn, error) {
+			return store.NewTxn().SetXattr(XattrRefCount, []byte{1, 2, 3}), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.s.Scrub(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, is := range rep.Issues {
+			if is.OID == chunkOID && strings.Contains(is.Detail, "corrupt refcount") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("scrub issues %v missing corrupt-refcount finding", rep.Issues)
+		}
+		// GC rebuilds the count from the omap...
+		st, err := e.s.GC(p)
+		if err != nil || st.CountsFixed != 1 {
+			t.Fatalf("GC CountsFixed = %d, %v (want 1)", st.CountsFixed, err)
+		}
+		// ...after which scrub is clean again.
+		rep, err = e.s.Scrub(p)
+		if err != nil || !rep.Clean() {
+			t.Fatalf("scrub after repair not clean: %v, %v", rep.Issues, err)
+		}
+	})
+	e.checkIntegrity(t)
+}

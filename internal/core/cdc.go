@@ -76,23 +76,25 @@ func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid st
 	}
 	chunks := cdc.Split(0, data)
 
-	// (3) Reference the new chunks (create-or-incref, §4.4.1 steps 4-5; rate
+	// (3) Phase 1 of the two-phase reference update: record an intent (and
+	// the chunk contents, if absent) for every new chunk. Nothing is counted
+	// yet — the intents only pin the chunks until the map swap lands (rate
 	// control acts through the dedup class weight on gw's scheduler).
 	var refs []takenRef
 	for _, c := range chunks {
 		id := FingerprintID(c.Data)
 		ref := Ref{Pool: s.meta.ID, OID: oid, Offset: c.Offset}
-		var added bool
-		if err := gw.MutateWithPayload(p, s.chunk, id, len(c.Data), putRefFnTracked(c.Data, ref, &added)); err != nil {
-			e.undoRefs(p, gw, refs)
+		var out intentOutcome
+		if err := gw.MutateWithPayload(p, s.chunk, id, len(c.Data), putIntentFn(c.Data, ref, e.leaseExpiry(p), &out)); err != nil {
+			e.abortIntents(p, gw, refs)
 			return len(chunks), err
 		}
 		e.stats.ChunksFlushed++
 		e.stats.BytesFlushed += int64(len(c.Data))
 		refs = append(refs, takenRef{
-			entry: Entry{Start: c.Offset, End: c.End(), ChunkID: id},
-			ref:   ref,
-			added: added,
+			entry:     Entry{Start: c.Offset, End: c.End(), ChunkID: id},
+			ref:       ref,
+			committed: out.committed,
 		})
 	}
 
@@ -133,22 +135,38 @@ func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid st
 		return txn, nil
 	})
 	if err != nil {
-		e.undoRefs(p, gw, refs)
+		e.abortIntents(p, gw, refs)
 		return len(chunks), err
 	}
 	if raced {
 		e.stats.Requeued++
-		e.undoRefs(p, gw, refs)
+		e.abortIntents(p, gw, refs)
 		return len(chunks), gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
 			return store.NewTxn().Create().OmapSet(oid, nil), nil
 		})
 	}
 
+	// Phase 3: the map swap is durable, so commit the intents into counted
+	// references. On persistent failure GC/audit promote the expired intents
+	// (the bindings exist), so commit errors other than pool loss are
+	// tolerable — but retry while OSDs are merely unavailable.
+	for _, nr := range refs {
+		if nr.committed {
+			continue
+		}
+		nr := nr
+		if cerr := retryUnavailable(p, func() error {
+			return gw.Mutate(p, s.chunk, nr.entry.ChunkID, commitIntentFn(nr.ref))
+		}); cerr != nil && !errors.Is(cerr, ErrNotFound) {
+			return len(chunks), cerr
+		}
+	}
+
 	// (5) De-reference the replaced chunks. A new reference with the same
 	// (oid, offset) key may now live on a different chunk object; the old
 	// chunk's copy of the key is removed here. Chunks whose identity did
-	// not change were never re-referenced (putRefFn is idempotent per key),
-	// so skip those.
+	// not change were never re-referenced (putIntentFn is idempotent per
+	// committed key), so skip those.
 	newByOffset := make(map[int64]string, len(refs))
 	for _, nr := range refs {
 		newByOffset[nr.entry.Start] = nr.entry.ChunkID
@@ -169,26 +187,25 @@ func (e *Engine) flushObjectCDC(p *sim.Proc, gw *rados.Gateway, hostName, oid st
 }
 
 // takenRef pairs a prospective chunk-map entry with its reference key.
-// added records whether the reference was newly created (undo must not
-// remove references recorded by earlier flushes).
+// committed records that the reference was already a committed ref before
+// this flush (idempotent re-flush) — no intent exists for it, so neither
+// commit nor abort must touch it.
 type takenRef struct {
-	entry Entry
-	ref   Ref
-	added bool
+	entry     Entry
+	ref       Ref
+	committed bool
 }
 
-// undoRefs rolls back references taken by an aborted CDC flush.
-func (e *Engine) undoRefs(p *sim.Proc, gw *rados.Gateway, refs []takenRef) {
+// abortIntents rolls back phase-1 intents taken by an aborted CDC flush.
+// Best-effort: an intent whose abort is lost to a crash expires and is
+// reconciled by GC/audit.
+func (e *Engine) abortIntents(p *sim.Proc, gw *rados.Gateway, refs []takenRef) {
 	s := e.s
 	for _, nr := range refs {
-		if !nr.added {
+		if nr.committed {
 			continue
 		}
-		fn := decRefFn(nr.ref)
-		if s.cfg.FalsePositiveRefs {
-			fn = dropRefFn(nr.ref)
-		}
-		_ = gw.Mutate(p, s.chunk, nr.entry.ChunkID, fn)
+		_ = gw.Mutate(p, s.chunk, nr.entry.ChunkID, abortIntentFn(nr.ref, !s.cfg.FalsePositiveRefs))
 	}
 }
 

@@ -160,19 +160,3 @@ func TestFingerprintIDDeterministic(t *testing.T) {
 	}
 }
 
-func TestRefKeyRoundTrip(t *testing.T) {
-	ref := Ref{Pool: 7, OID: "rbd_data.17.obj", Offset: 98304}
-	got, ok := parseRefKey(ref.Key())
-	if !ok || got != ref {
-		t.Fatalf("parse(%q) = %+v, %v", ref.Key(), got, ok)
-	}
-	if len(ref.Key()) < RefEntryOverhead {
-		t.Fatalf("ref key %d bytes, want >= %d (paper's per-ref footprint)", len(ref.Key()), RefEntryOverhead)
-	}
-	if _, ok := parseRefKey("garbage"); ok {
-		t.Fatal("parsed garbage key")
-	}
-	if _, ok := parseRefKey("ref.x|y"); ok {
-		t.Fatal("parsed malformed key")
-	}
-}

@@ -113,15 +113,44 @@ func (e *env) checkIntegrity(t *testing.T) {
 				t.Errorf("chunk %s: missing refcount", chunkOID)
 				continue
 			}
-			if rc := decodeCount(rcRaw); int(rc) != len(refs) {
-				t.Errorf("chunk %s: refcount %d != %d recorded refs", chunkOID, rc, len(refs))
+			committed, intents := 0, 0
+			for _, k := range refs {
+				switch {
+				case isRefKey(k):
+					committed++
+				case isIntentKey(k):
+					intents++
+				default:
+					t.Errorf("chunk %s: unknown omap key %q", chunkOID, k)
+				}
 			}
-			if !e.s.cfg.FalsePositiveRefs && len(refs) == 0 {
+			if intents > 0 {
+				t.Errorf("chunk %s: %d uncommitted intents after drain", chunkOID, intents)
+			}
+			rc, _, ok := decodeRC(rcRaw)
+			if !ok {
+				t.Errorf("chunk %s: corrupt refcount xattr (%d bytes)", chunkOID, len(rcRaw))
+				continue
+			}
+			if int(rc) != committed {
+				t.Errorf("chunk %s: refcount %d != %d recorded refs", chunkOID, rc, committed)
+			}
+			if !e.s.cfg.FalsePositiveRefs && committed == 0 {
 				t.Errorf("chunk %s: zero references but not deleted (strict mode)", chunkOID)
 			}
 		}
 		_ = refCount
 	})
+}
+
+// mustCount decodes the committed-reference count from a dedup.rc xattr.
+func mustCount(t *testing.T, raw []byte) uint64 {
+	t.Helper()
+	count, _, ok := decodeRC(raw)
+	if !ok {
+		t.Fatalf("corrupt refcount xattr (%d bytes)", len(raw))
+	}
+	return count
 }
 
 func TestWriteReadCachedRoundTrip(t *testing.T) {
@@ -197,8 +226,8 @@ func TestGlobalDedupAcrossObjects(t *testing.T) {
 	e.run(t, func(p *sim.Proc) {
 		gw := e.s.hostGW(anyHost(e.s))
 		rc, err := gw.GetXattr(p, e.s.chunk, FingerprintID(shared), XattrRefCount)
-		if err != nil || decodeCount(rc) != 10 {
-			t.Errorf("refcount = %d, %v", decodeCount(rc), err)
+		if err != nil || mustCount(t, rc) != 10 {
+			t.Errorf("refcount = %d, %v", mustCount(t, rc), err)
 		}
 	})
 	e.checkIntegrity(t)

@@ -374,11 +374,31 @@ func (e *Engine) StartCacheAgent(interval time.Duration) {
 // errCrash simulates a failure injected by a test hook.
 var errCrash = errors.New("core: injected crash")
 
-// flushChunk deduplicates one dirty chunk slot: read the cached bytes,
-// fingerprint (double hashing), de-reference the previous chunk if the slot
-// pointed elsewhere, write/incref the chunk object, then update the chunk
-// map. Returns raced=true when a concurrent client write invalidated the
-// flush (the slot stays dirty).
+// leaseExpiry returns the sim-time lease for a reference intent recorded
+// now: GC and the audit pass leave the intent alone until it expires.
+func (e *Engine) leaseExpiry(p *sim.Proc) sim.Time {
+	return p.Now() + sim.Time(e.s.cfg.IntentLease)
+}
+
+// flushChunk deduplicates one dirty chunk slot with a two-phase,
+// intent-logged reference update, so a crash at any point leaves state the
+// reconcilers (GC, audit) can roll forward or back:
+//
+//	phase 1  record a reference intent on the chunk object (creating the
+//	         chunk if absent) with a lease expiry — the chunk is pinned
+//	         but the reference is not yet counted;
+//	phase 2  bind the chunk in the source object's chunk map (the
+//	         authoritative statement that the reference exists), unless a
+//	         client write raced;
+//	phase 3  commit the intent into a counted reference, then de-reference
+//	         the chunk the slot previously pointed at.
+//
+// Crash after 1: the intent expires, GC/audit abort it (no binding exists).
+// Crash after 2: the binding exists but the reference is an expired intent;
+// GC/audit promote it to a committed reference. Crash mid-3: commit is
+// idempotent and the old chunk's stale reference is collected by GC. A
+// raced phase 2 aborts the intent inline. Returns raced=true when a
+// concurrent client write invalidated the flush (the slot stays dirty).
 func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid string, entry Entry) (raced bool, err error) {
 	s := e.s
 	data, err := gw.Read(p, s.meta, oid, entry.Start, entry.Len())
@@ -395,27 +415,13 @@ func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid
 	newID := FingerprintID(data)
 	ref := Ref{Pool: s.meta.ID, OID: oid, Offset: entry.Start}
 
-	// Step 3: if the slot already referenced a chunk, de-reference it first
-	// and wait for completion.
-	if entry.ChunkID != "" && entry.ChunkID != newID {
-		fn := decRefFn(ref)
-		if s.cfg.FalsePositiveRefs {
-			fn = dropRefFn(ref)
-		}
-		if err := gw.Mutate(p, s.chunk, entry.ChunkID, fn); err != nil && !errors.Is(err, ErrNotFound) {
-			return false, err
-		}
-	}
-	if e.hookAfterDeref != nil && e.hookAfterDeref(oid, entry) {
-		return false, errCrash
-	}
-
-	// Steps 4–5: create-or-incref at the content-addressed location. When the
-	// slot already points at the right chunk (same content rewritten) no
+	// Phase 1: intent + chunk write at the content-addressed location. When
+	// the slot already points at the right chunk (same content rewritten) no
 	// chunk-pool I/O happens, so it must not count as a flush.
-	existedBefore, _ := gw.Exists(p, s.chunk, newID)
+	var intent intentOutcome
 	if entry.ChunkID != newID {
-		if err := gw.MutateWithPayload(p, s.chunk, newID, len(data), putRefFn(data, ref)); err != nil {
+		existedBefore, _ := gw.Exists(p, s.chunk, newID)
+		if err := gw.MutateWithPayload(p, s.chunk, newID, len(data), putIntentFn(data, ref, e.leaseExpiry(p), &intent)); err != nil {
 			return false, err
 		}
 		if existedBefore {
@@ -434,7 +440,7 @@ func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid
 		return false, errCrash
 	}
 
-	// Step 6: update the chunk map — only if no client write raced.
+	// Phase 2: bind the chunk in the map — only if no client write raced.
 	keepCached := s.cache.KeepCachedAfterFlush(p.Now(), oid)
 	if e.hookBeforeMapWrite != nil && e.hookBeforeMapWrite(oid, entry) {
 		return false, errCrash
@@ -467,18 +473,43 @@ func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid
 		}
 		return txn, nil
 	})
-	if err == nil && raced && entry.ChunkID != newID {
-		// The slot changed under us: the reference we just took on newID is
-		// not recorded in any chunk map. Undo it so the chunk pool does not
-		// leak a reference (strict mode) — in false-positive mode the GC
-		// would reclaim it anyway.
+	if err != nil || raced {
+		// Roll phase 1 back: the binding never landed, so the intent must
+		// not become a reference. Best-effort — if this mutation is lost to
+		// a crash, the lease expiry lets GC/audit abort it instead.
+		if entry.ChunkID != newID && !intent.committed {
+			if aerr := gw.Mutate(p, s.chunk, newID, abortIntentFn(ref, !s.cfg.FalsePositiveRefs)); aerr != nil && !errors.Is(aerr, ErrNotFound) && err == nil {
+				return raced, aerr
+			}
+		}
+		return raced, err
+	}
+
+	// Phase 3: commit the intent into a counted reference. On persistent
+	// failure the binding already exists, so GC/audit will promote the
+	// expired intent — the protocol converges either way.
+	if entry.ChunkID != newID && !intent.committed {
+		if cerr := retryUnavailable(p, func() error {
+			return gw.Mutate(p, s.chunk, newID, commitIntentFn(ref))
+		}); cerr != nil && !errors.Is(cerr, ErrNotFound) {
+			return false, cerr
+		}
+	}
+
+	// De-reference the chunk the slot previously pointed at — after the
+	// binding swap, so no window exists where the chunk map points at a
+	// chunk whose reference was already dropped.
+	if entry.ChunkID != "" && entry.ChunkID != newID {
 		fn := decRefFn(ref)
 		if s.cfg.FalsePositiveRefs {
 			fn = dropRefFn(ref)
 		}
-		if derr := gw.Mutate(p, s.chunk, newID, fn); derr != nil && !errors.Is(derr, ErrNotFound) {
-			return raced, derr
+		if derr := gw.Mutate(p, s.chunk, entry.ChunkID, fn); derr != nil && !errors.Is(derr, ErrNotFound) {
+			return false, derr
 		}
 	}
-	return raced, err
+	if e.hookAfterDeref != nil && e.hookAfterDeref(oid, entry) {
+		return false, errCrash
+	}
+	return false, nil
 }

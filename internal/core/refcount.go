@@ -4,9 +4,13 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
 	"dedupstore/internal/store"
 )
 
@@ -25,9 +29,24 @@ func FingerprintID(data []byte) string {
 // chunk object's own omap; the count is an xattr. RefEntryOverhead models
 // the paper's per-reference cost (§5: "the object in chunk pool uses
 // additional 64 bytes for reference").
+//
+// Two kinds of omap entries live on a chunk object:
+//
+//   - "ref."-prefixed keys are committed references: the chunk map of the
+//     source object binds that offset to this chunk, and the reference
+//     count includes them.
+//   - "int."-prefixed keys are reference *intents*: phase 1 of the
+//     two-phase reference update (see engine.go flushChunk). The value is
+//     a sim-time lease expiry. An intent does not count toward the
+//     reference count; it only keeps GC from reclaiming the chunk while a
+//     flush is between "chunk written" and "reference committed". Expired
+//     intents are reconciled by GC and the audit pass: promoted to
+//     committed references when the source chunk map binds this chunk,
+//     aborted (removed) otherwise.
 const (
 	XattrRefCount    = "dedup.rc"
 	refKeyPrefix     = "ref."
+	intentKeyPrefix  = "int."
 	RefEntryOverhead = 64
 )
 
@@ -38,27 +57,163 @@ type Ref struct {
 	Offset int64
 }
 
-// Key returns the omap key for this reference, padded to the paper's
-// per-reference footprint.
-func (r Ref) Key() string {
-	k := fmt.Sprintf("%s%d|%s|%d", refKeyPrefix, r.Pool, r.OID, r.Offset)
+// refBody serializes the reference fields with a length-prefixed OID, so
+// any OID — including ones containing '|' or trailing '.' — round-trips
+// through parseRefBody. (The previous "pool|oid|offset" form mis-parsed
+// such OIDs, leaving their references invisible to GC forever.)
+func (r Ref) refBody() string {
+	return fmt.Sprintf("%d|%d:%s|%d", r.Pool, len(r.OID), r.OID, r.Offset)
+}
+
+// Key returns the omap key for this committed reference, padded to the
+// paper's per-reference footprint.
+func (r Ref) Key() string { return padRefKey(refKeyPrefix + r.refBody()) }
+
+// IntentKey returns the omap key recording a phase-1 intent for this
+// reference.
+func (r Ref) IntentKey() string { return padRefKey(intentKeyPrefix + r.refBody()) }
+
+func padRefKey(k string) string {
 	for len(k) < RefEntryOverhead {
 		k += "."
 	}
 	return k
 }
 
-func encodeCount(n uint64) []byte {
-	b := make([]byte, 8)
-	binary.LittleEndian.PutUint64(b, n)
+// parseRefBody inverts refBody. The padding dots appended by padRefKey are
+// unambiguous because the body is self-delimiting: the OID's length is
+// explicit and the trailing offset is all digits.
+func parseRefBody(body string) (Ref, bool) {
+	bar := strings.IndexByte(body, '|')
+	if bar < 0 {
+		return Ref{}, false
+	}
+	pool, err := strconv.ParseUint(body[:bar], 10, 64)
+	if err != nil {
+		return Ref{}, false
+	}
+	rest := body[bar+1:]
+	colon := strings.IndexByte(rest, ':')
+	if colon < 0 {
+		return Ref{}, false
+	}
+	oidLen, err := strconv.Atoi(rest[:colon])
+	if err != nil || oidLen < 0 || colon+1+oidLen > len(rest) {
+		return Ref{}, false
+	}
+	oid := rest[colon+1 : colon+1+oidLen]
+	rest = rest[colon+1+oidLen:]
+	if len(rest) == 0 || rest[0] != '|' {
+		return Ref{}, false
+	}
+	rest = rest[1:]
+	// Offset digits end where the '.' padding begins.
+	numEnd := 0
+	for numEnd < len(rest) && (rest[numEnd] == '-' && numEnd == 0 || rest[numEnd] >= '0' && rest[numEnd] <= '9') {
+		numEnd++
+	}
+	if numEnd == 0 || strings.TrimRight(rest[numEnd:], ".") != "" {
+		return Ref{}, false
+	}
+	off, err := strconv.ParseInt(rest[:numEnd], 10, 64)
+	if err != nil {
+		return Ref{}, false
+	}
+	return Ref{Pool: pool, OID: oid, Offset: off}, true
+}
+
+// parseRefKey inverts Ref.Key.
+func parseRefKey(key string) (Ref, bool) {
+	if !strings.HasPrefix(key, refKeyPrefix) {
+		return Ref{}, false
+	}
+	return parseRefBody(key[len(refKeyPrefix):])
+}
+
+// parseIntentKey inverts Ref.IntentKey.
+func parseIntentKey(key string) (Ref, bool) {
+	if !strings.HasPrefix(key, intentKeyPrefix) {
+		return Ref{}, false
+	}
+	return parseRefBody(key[len(intentKeyPrefix):])
+}
+
+// isRefKey / isIntentKey classify a chunk-object omap key.
+func isRefKey(k string) bool    { return strings.HasPrefix(k, refKeyPrefix) }
+func isIntentKey(k string) bool { return strings.HasPrefix(k, intentKeyPrefix) }
+
+// The reference-count xattr packs the committed-reference count with a
+// generation number bumped by every reference mutation on the chunk. GC
+// snapshots the generation before its (unlocked, cross-pool) liveness
+// checks and re-reads it under the sweep lock: a changed generation means
+// a reference mutation raced the verification, so the sweep's decisions
+// are stale and must not be replayed.
+const rcLen = 16
+
+// ErrCorruptRefCount reports a malformed dedup.rc xattr.
+var ErrCorruptRefCount = errors.New("core: corrupt refcount xattr")
+
+func encodeRC(count, gen uint64) []byte {
+	b := make([]byte, rcLen)
+	binary.LittleEndian.PutUint64(b, count)
+	binary.LittleEndian.PutUint64(b[8:], gen)
 	return b
 }
 
-func decodeCount(b []byte) uint64 {
-	if len(b) < 8 {
-		return 0
+func decodeRC(b []byte) (count, gen uint64, ok bool) {
+	if len(b) != rcLen {
+		return 0, 0, false
 	}
-	return binary.LittleEndian.Uint64(b)
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(b[8:]), true
+}
+
+// readRC reads and decodes the refcount xattr from a mutate view. Errors —
+// including a transient unavailable read on an EC pool — propagate to the
+// caller instead of decoding as count 0 and clobbering the real count.
+func readRC(v rados.View) (count, gen uint64, err error) {
+	raw, err := v.GetXattr(XattrRefCount)
+	if err != nil {
+		return 0, 0, err
+	}
+	count, gen, ok := decodeRC(raw)
+	if !ok {
+		return 0, 0, ErrCorruptRefCount
+	}
+	return count, gen, nil
+}
+
+func encodeExpiry(t sim.Time) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(t))
+	return b
+}
+
+func decodeExpiry(b []byte) (sim.Time, bool) {
+	if len(b) != 8 {
+		return 0, false
+	}
+	return sim.Time(binary.LittleEndian.Uint64(b)), true
+}
+
+// countOtherRefs tallies the committed references and intents recorded on
+// the chunk besides the excluded key.
+func countOtherRefs(v rados.View, exclude string) (refs, intents int, err error) {
+	keys, err := v.OmapList(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, k := range keys {
+		if k == exclude {
+			continue
+		}
+		switch {
+		case isRefKey(k):
+			refs++
+		case isIntentKey(k):
+			intents++
+		}
+	}
+	return refs, intents, nil
 }
 
 // putRefFn builds the Mutate closure for §4.4.1 steps (4)–(5): "If there is
@@ -66,49 +221,141 @@ func decodeCount(b []byte) uint64 {
 // If there is an object already stored at the location, add reference count
 // information." Executed under the chunk-pool PG lock, so create-vs-incref
 // races between concurrent dedup workers are serialized by the substrate.
+// This is the single-phase (directly committed) form used by the inline
+// baseline, whose reference is bound before the client ack; the background
+// flush protocol uses putIntentFn/commitIntentFn instead.
 func putRefFn(data []byte, ref Ref) rados.MutateFn {
-	return putRefFnTracked(data, ref, nil)
-}
-
-// putRefFnTracked is putRefFn that additionally reports (via added) whether
-// the reference was newly recorded — false when this exact reference key
-// already existed (idempotent re-flush). Undo logic must only remove
-// references it actually added.
-func putRefFnTracked(data []byte, ref Ref, added *bool) rados.MutateFn {
 	return func(v rados.View) (*store.Txn, error) {
-		if added != nil {
-			*added = false
-		}
 		txn := store.NewTxn()
 		if !v.Exists() {
-			if added != nil {
-				*added = true
-			}
 			txn.WriteFull(data).
-				SetXattr(XattrRefCount, encodeCount(1)).
+				SetXattr(XattrRefCount, encodeRC(1, 1)).
 				OmapSet(ref.Key(), nil)
 			return txn, nil
+		}
+		count, gen, err := readRC(v)
+		if err != nil {
+			return nil, err
 		}
 		// Duplicate chunk: only reference info is added; the data write is
 		// avoided entirely — the core space saving.
 		if _, err := v.OmapGet(ref.Key()); err == nil {
-			return nil, nil // this exact reference already recorded (idempotent re-flush)
+			// Already recorded (idempotent re-reference) — but still bump the
+			// generation: this reference is being bound again, and a GC pass
+			// that judged it stale before the re-bind must not replay that
+			// decision.
+			return txn.SetXattr(XattrRefCount, encodeRC(count, gen+1)), nil
 		}
-		cur, err := v.GetXattr(XattrRefCount)
-		if err != nil {
-			return nil, err
-		}
-		if added != nil {
-			*added = true
-		}
-		txn.SetXattr(XattrRefCount, encodeCount(decodeCount(cur)+1)).
+		txn.SetXattr(XattrRefCount, encodeRC(count+1, gen+1)).
 			OmapSet(ref.Key(), nil)
 		return txn, nil
 	}
 }
 
+// intentOutcome reports what putIntentFn found under the PG lock.
+type intentOutcome struct {
+	// committed: this exact reference is already a committed ref (idempotent
+	// re-flush after a crash between commit and map update) — no intent was
+	// recorded, and neither commit nor abort must run.
+	committed bool
+}
+
+// putIntentFn is phase 1 of the two-phase reference update: store the chunk
+// contents if absent and record a reference intent with a lease expiry. The
+// committed reference count is NOT incremented — the intent only pins the
+// chunk against GC until commitIntentFn (phase 3) lands or the lease runs
+// out. Re-running phase 1 for the same reference refreshes the lease.
+func putIntentFn(data []byte, ref Ref, expiry sim.Time, out *intentOutcome) rados.MutateFn {
+	return func(v rados.View) (*store.Txn, error) {
+		if out != nil {
+			*out = intentOutcome{}
+		}
+		txn := store.NewTxn()
+		if !v.Exists() {
+			txn.WriteFull(data).
+				SetXattr(XattrRefCount, encodeRC(0, 1)).
+				OmapSet(ref.IntentKey(), encodeExpiry(expiry))
+			return txn, nil
+		}
+		count, gen, err := readRC(v)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := v.OmapGet(ref.Key()); err == nil {
+			if out != nil {
+				out.committed = true
+			}
+			// Already committed (idempotent re-flush) — bump the generation
+			// anyway so a GC pass that judged this reference stale before the
+			// re-bind cannot replay its decision against it.
+			return txn.SetXattr(XattrRefCount, encodeRC(count, gen+1)), nil
+		}
+		txn.SetXattr(XattrRefCount, encodeRC(count, gen+1)).
+			OmapSet(ref.IntentKey(), encodeExpiry(expiry))
+		return txn, nil
+	}
+}
+
+// commitIntentFn is phase 3: the chunk-map binding is durable, so convert
+// the intent into a committed reference and count it. Safe to run after GC
+// aborted an expired intent (the reference is still recorded — the binding
+// exists, which is exactly what GC verifies) and idempotent when the audit
+// pass promoted the intent first.
+func commitIntentFn(ref Ref) rados.MutateFn {
+	return func(v rados.View) (*store.Txn, error) {
+		if !v.Exists() {
+			// The chunk vanished between binding and commit: only possible if
+			// the lease expired mid-flush AND the binding was already gone
+			// (racing write), so the flush result is obsolete anyway.
+			return nil, nil
+		}
+		count, gen, err := readRC(v)
+		if err != nil {
+			return nil, err
+		}
+		txn := store.NewTxn().OmapRm(ref.IntentKey())
+		if _, err := v.OmapGet(ref.Key()); err != nil {
+			txn.OmapSet(ref.Key(), nil)
+			count++
+		}
+		txn.SetXattr(XattrRefCount, encodeRC(count, gen+1))
+		return txn, nil
+	}
+}
+
+// abortIntentFn rolls back phase 1 after the map swap raced or failed. In
+// strict mode a chunk left with no references and no other intents is
+// deleted inline (there is no GC to reclaim it); in false-positive mode it
+// is left for the collector. A crash before the abort lands is covered by
+// the lease: GC/audit abort the expired intent.
+func abortIntentFn(ref Ref, strict bool) rados.MutateFn {
+	return func(v rados.View) (*store.Txn, error) {
+		if !v.Exists() {
+			return nil, nil
+		}
+		if _, err := v.OmapGet(ref.IntentKey()); err != nil {
+			return nil, nil // no intent recorded (already reconciled)
+		}
+		count, gen, err := readRC(v)
+		if err != nil {
+			return nil, err
+		}
+		refs, intents, err := countOtherRefs(v, ref.IntentKey())
+		if err != nil {
+			return nil, err
+		}
+		if strict && count == 0 && refs == 0 && intents == 0 {
+			return store.NewTxn().Delete(), nil
+		}
+		return store.NewTxn().
+			OmapRm(ref.IntentKey()).
+			SetXattr(XattrRefCount, encodeRC(count, gen+1)), nil
+	}
+}
+
 // decRefFn builds the Mutate closure for strict de-referencing: remove the
-// reference and delete the chunk object when the count reaches zero.
+// reference and delete the chunk object when no committed references — and
+// no in-flight intents — remain.
 func decRefFn(ref Ref) rados.MutateFn {
 	return func(v rados.View) (*store.Txn, error) {
 		if !v.Exists() {
@@ -117,25 +364,32 @@ func decRefFn(ref Ref) rados.MutateFn {
 		if _, err := v.OmapGet(ref.Key()); err != nil {
 			return nil, nil // reference not present (idempotent retry)
 		}
-		cur, err := v.GetXattr(XattrRefCount)
+		count, gen, err := readRC(v)
 		if err != nil {
 			return nil, err
 		}
-		n := decodeCount(cur)
-		txn := store.NewTxn()
-		if n <= 1 {
-			txn.Delete()
-			return txn, nil
+		refs, intents, err := countOtherRefs(v, ref.Key())
+		if err != nil {
+			return nil, err
 		}
-		txn.SetXattr(XattrRefCount, encodeCount(n-1)).OmapRm(ref.Key())
-		return txn, nil
+		if refs == 0 && intents == 0 {
+			return store.NewTxn().Delete(), nil
+		}
+		if count > 0 {
+			count--
+		}
+		return store.NewTxn().
+			SetXattr(XattrRefCount, encodeRC(count, gen+1)).
+			OmapRm(ref.Key()), nil
 	}
 }
 
 // dropRefFn is the false-positive-refcount variant (§4.6 last paragraph:
 // "strictly locks on increment but no locking on decrement"): the reference
 // entry is removed but the chunk is never deleted inline — a garbage
-// collector reclaims zero-reference chunks later.
+// collector reclaims zero-reference chunks later. A failed refcount read
+// propagates (so retryUnavailable can retry) instead of decoding as zero
+// and clobbering the count.
 func dropRefFn(ref Ref) rados.MutateFn {
 	return func(v rados.View) (*store.Txn, error) {
 		if !v.Exists() {
@@ -144,11 +398,15 @@ func dropRefFn(ref Ref) rados.MutateFn {
 		if _, err := v.OmapGet(ref.Key()); err != nil {
 			return nil, nil
 		}
-		cur, _ := v.GetXattr(XattrRefCount)
-		n := decodeCount(cur)
-		if n > 0 {
-			n--
+		count, gen, err := readRC(v)
+		if err != nil {
+			return nil, err
 		}
-		return store.NewTxn().SetXattr(XattrRefCount, encodeCount(n)).OmapRm(ref.Key()), nil
+		if count > 0 {
+			count--
+		}
+		return store.NewTxn().
+			SetXattr(XattrRefCount, encodeRC(count, gen+1)).
+			OmapRm(ref.Key()), nil
 	}
 }

@@ -82,6 +82,26 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 		if err != nil && !errors.Is(err, ErrNotFound) {
 			return rep, err
 		}
+		// Partition the omap into committed references and in-flight intents:
+		// only committed references are counted, and every key must parse
+		// back to the Ref that wrote it (an unparseable key is invisible to
+		// GC and would pin the chunk forever).
+		committed := 0
+		for _, k := range refs {
+			switch {
+			case isRefKey(k):
+				committed++
+				if _, ok := parseRefKey(k); !ok {
+					rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "unparseable reference key " + k})
+				}
+			case isIntentKey(k):
+				if _, ok := parseIntentKey(k); !ok {
+					rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "unparseable intent key " + k})
+				}
+			default:
+				rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "unknown omap key " + k})
+			}
+		}
 		var rcRaw []byte
 		err = retryUnavailable(p, func() error {
 			var e error
@@ -97,7 +117,14 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "missing refcount xattr"})
 			continue
 		}
-		if rc := decodeCount(rcRaw); int(rc) != len(refs) {
+		rc, _, ok := decodeRC(rcRaw)
+		if !ok {
+			// A short or garbled dedup.rc used to silently read as count 0;
+			// now it is a first-class finding (GC rebuilds it from the omap).
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "corrupt refcount xattr"})
+			continue
+		}
+		if int(rc) != committed {
 			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "refcount disagrees with reference table"})
 		}
 	}

@@ -61,12 +61,12 @@ func (cl *Client) Snapshot(p *sim.Proc, srcOID, dstOID string) error {
 			if _, err := v.OmapGet(ref.Key()); err == nil {
 				return nil, nil // already referenced (idempotent retry)
 			}
-			cur, err := v.GetXattr(XattrRefCount)
+			count, gen, err := readRC(v)
 			if err != nil {
 				return nil, err
 			}
 			return store.NewTxn().
-				SetXattr(XattrRefCount, encodeCount(decodeCount(cur)+1)).
+				SetXattr(XattrRefCount, encodeRC(count+1, gen+1)).
 				OmapSet(ref.Key(), nil), nil
 		})
 		if err != nil {

@@ -139,8 +139,8 @@ func TestManySnapshotsRefcount(t *testing.T) {
 		}
 		gw := e.s.hostGW(anyHost(e.s))
 		rc, err := gw.GetXattr(p, e.s.chunk, FingerprintID(data), XattrRefCount)
-		if err != nil || decodeCount(rc) != 6 { // vol + 5 snapshots
-			t.Fatalf("refcount = %d, %v", decodeCount(rc), err)
+		if err != nil || mustCount(t, rc) != 6 { // vol + 5 snapshots
+			t.Fatalf("refcount = %d, %v", mustCount(t, rc), err)
 		}
 	})
 	e.checkIntegrity(t)

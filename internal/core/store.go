@@ -86,6 +86,12 @@ type Config struct {
 	// FalsePositiveRefs enables the §4.6 variant: no locking on decrement;
 	// zero-reference chunks are reclaimed by the garbage collector instead.
 	FalsePositiveRefs bool
+	// IntentLease is the lifetime of a phase-1 reference intent (see
+	// refcount.go): GC and the audit pass leave an intent alone until this
+	// much sim-time has passed since the flush recorded it, then reconcile
+	// it (promote if the chunk map binds the chunk, abort otherwise). Must
+	// comfortably exceed the flush's worst-case bind-to-commit latency.
+	IntentLease time.Duration
 	// CDC switches the background flush to content-defined chunking (an
 	// extension of the paper's design; the paper uses static chunking for
 	// its lower CPU cost, §5). Only valid with ModePostProcess. ChunkSize
@@ -110,6 +116,7 @@ func DefaultConfig() Config {
 		DedupThreads:      2,
 		FlushParallel:     8,
 		ScanInterval:      50 * time.Millisecond,
+		IntentLease:       2 * time.Second,
 	}
 }
 
@@ -129,6 +136,11 @@ type Store struct {
 
 	hostGWs  map[string]*rados.Gateway // keyed class|host: one internal gateway per QoS class per host
 	objLocks map[string]*sim.Resource  // inline-mode per-object write locks
+
+	// gcHookBeforeSweep (tests only) runs between GC's out-of-lock
+	// verification and the under-lock sweep of each chunk, so tests can
+	// inject a racing reference mutation into exactly that window.
+	gcHookBeforeSweep func(p *sim.Proc, chunkOID string)
 }
 
 // Open creates (or errors on existing) the metadata and chunk pools and
@@ -152,6 +164,9 @@ func Open(cluster *rados.Cluster, cfg Config) (*Store, error) {
 	}
 	if cfg.ScanInterval <= 0 {
 		cfg.ScanInterval = 50 * time.Millisecond
+	}
+	if cfg.IntentLease <= 0 {
+		cfg.IntentLease = 2 * time.Second
 	}
 	meta, err := cluster.CreatePool(rados.PoolConfig{
 		Name: cfg.MetaPoolName, PGNum: cfg.PGNum, Redundancy: cfg.MetaRedundancy,

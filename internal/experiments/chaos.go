@@ -22,10 +22,20 @@ import (
 // (seed, scale) pair reproduces bit-for-bit, faults landing between the
 // same I/O events on every run.
 
-// ChaosScenario selects the chunk-pool protection scheme under test.
+// ChaosScenario selects the chunk-pool protection scheme and fault shape
+// under test.
 type ChaosScenario struct {
 	Name  string
 	Chunk rados.Redundancy
+	// KillN, when > 0, replaces the default single 4-second crash with a
+	// chaos.CrashBurst of KillN short kills cycling through the OSDs across
+	// the load window — each one lands mid-flush (kill-during-flush), at
+	// several times the single-crash fault rate.
+	KillN int
+	// GCDuring additionally runs a garbage-collection loop concurrently
+	// with the load, so kills also land inside GC passes (kill-during-GC)
+	// and the generation-checked sweep is exercised against live increfs.
+	GCDuring bool
 }
 
 // ChaosEvent is one timeline row.
@@ -57,13 +67,20 @@ type ChaosResult struct {
 	VerifyErrors     int
 	ScrubIssues      int
 	GCStaleRefs      int64
+	AuditRepairs     int64 // intents promoted + refs repaired + counts fixed
+	LostChunks       int64 // bindings pointing at data that exists nowhere
 }
 
-// DefaultChaosScenarios covers both protection schemes for the chunk pool.
+// DefaultChaosScenarios covers both protection schemes for the chunk pool,
+// plus the high-rate kill schedules that stress the two-phase reference
+// protocol: kill-during-flush and kill-during-GC at 5x the single-crash
+// fault rate.
 func DefaultChaosScenarios() []ChaosScenario {
 	return []ChaosScenario{
 		{Name: "rep2", Chunk: rados.ReplicatedN(2)},
 		{Name: "ec2+1", Chunk: rados.ErasureKM(2, 1)},
+		{Name: "rep2-killflush", Chunk: rados.ReplicatedN(2), KillN: 5},
+		{Name: "rep2-killgc", Chunk: rados.ReplicatedN(2), KillN: 5, GCDuring: true},
 	}
 }
 
@@ -125,12 +142,30 @@ func chaosRun(sc Scale, scn ChaosScenario, seed int64) ChaosResult {
 		s.Engine().DrainAndWait(p)
 		s.StartEngine() // workers keep flushing through the fault window
 
-		// Fault schedule and foreground load start together at t0.
+		// Fault schedule and foreground load start together at t0. The kill
+		// scenarios swap the single long crash for a burst of short kills:
+		// each is long enough (1.3s) for the heartbeat monitor to mark the
+		// OSD down, but the 1.4s spacing keeps at most one OSD dead at once.
 		t0 = p.Now()
-		inj.Apply(chaos.Schedule{
-			{At: crashAt, Kind: chaos.KindCrashOSD, OSD: crashed, Duration: crashFor},
-		})
+		if scn.KillN > 0 {
+			inj.Apply(chaos.CrashBurst(h.c.OSDs(), scn.KillN, crashAt, 7*time.Second, 1300*time.Millisecond))
+		} else {
+			inj.Apply(chaos.Schedule{
+				{At: crashAt, Kind: chaos.KindCrashOSD, OSD: crashed, Duration: crashFor},
+			})
+		}
 		var sigs []*sim.Signal
+		if scn.GCDuring {
+			sigs = append(sigs, p.Go("gcloop", func(q *sim.Proc) {
+				// Collection passes overlap the kill windows; errors beyond
+				// the retry budget are tolerated (the post-mortem GC re-runs)
+				// but the pass must never violate an invariant.
+				for q.Now() < t0+sim.Time(loadFor) {
+					_, _ = s.GC(q)
+					q.Sleep(400 * time.Millisecond)
+				}
+			}))
+		}
 		for w := 0; w < workers; w++ {
 			w := w
 			sigs = append(sigs, p.Go(fmt.Sprintf("load%d", w), func(q *sim.Proc) {
@@ -163,7 +198,17 @@ func chaosRun(sc Scale, scn ChaosScenario, seed int64) ChaosResult {
 		s.Engine().DrainAndWait(p)
 		res.MTTR = (p.Now() - t0).Duration() - crashAt
 
-		// Post-mortem: dedup invariants must have survived the window.
+		// Post-mortem: dedup invariants must have survived the window. Let
+		// every reference-intent lease expire first, then reconcile in both
+		// directions — audit (chunkmap→chunk), scrub, GC (chunk→chunkmap) —
+		// before asserting the store is clean.
+		p.Sleep(3 * time.Second)
+		if au, err := s.Audit(p); err != nil {
+			res.LostChunks = -1
+		} else {
+			res.AuditRepairs = au.IntentsPromoted + au.RefsRepaired + au.CountsFixed
+			res.LostChunks = au.LostChunks
+		}
 		rep, err := s.Scrub(p)
 		if err != nil {
 			res.ScrubIssues = -1
@@ -292,10 +337,12 @@ func ChaosTables(results []ChaosResult) []Table {
 				{"objects failing verification", fmt.Sprint(r.VerifyErrors)},
 				{"dedup scrub issues", fmt.Sprint(r.ScrubIssues)},
 				{"stale refs after GC", fmt.Sprint(r.GCStaleRefs)},
+				{"audit repairs applied", fmt.Sprint(r.AuditRepairs)},
+				{"lost chunks", fmt.Sprint(r.LostChunks)},
 			},
 			Notes: []string{
 				"all times virtual; fixed seed makes the run bit-for-bit reproducible",
-				"foreground failures, verification failures, scrub issues and residual stale refs must all be 0",
+				"foreground failures, verification failures, scrub issues, residual stale refs and lost chunks must all be 0",
 			},
 		}
 		out = append(out, sum)
@@ -310,10 +357,11 @@ func (r ChaosResult) Fingerprint() string {
 	for _, ev := range r.Timeline {
 		s += fmt.Sprintf("%v %s\n", ev.At, ev.What)
 	}
-	s += fmt.Sprintf("detect=%v mttr=%v dr=%d dw=%d to=%d cr=%d rh=%d rb=%d fg=%d ve=%d si=%d gc=%d\n",
+	s += fmt.Sprintf("detect=%v mttr=%v dr=%d dw=%d to=%d cr=%d rh=%d rb=%d fg=%d ve=%d si=%d gc=%d au=%d lc=%d\n",
 		r.DetectLatency, r.MTTR, r.DegradedReads, r.DegradedWrites, r.Timeouts,
 		r.ClientRetries, r.ReplicaHeals, r.RecoveredBytes,
-		r.ForegroundErrors, r.VerifyErrors, r.ScrubIssues, r.GCStaleRefs)
+		r.ForegroundErrors, r.VerifyErrors, r.ScrubIssues, r.GCStaleRefs,
+		r.AuditRepairs, r.LostChunks)
 	return s
 }
 

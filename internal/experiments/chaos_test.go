@@ -1,33 +1,55 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 )
 
-// TestChaosInvariants: under a crash mid-load, no foreground op may fail, no
-// data may be lost, and the dedup invariants must hold afterwards.
+// TestChaosInvariants: under crashes mid-load — including the high-rate
+// kill-during-flush and kill-during-GC bursts — no foreground op may fail,
+// no data may be lost, and the dedup invariants must hold afterwards. Two
+// seeds, per the crash-consistency acceptance bar.
 func TestChaosInvariants(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test")
 	}
-	for _, r := range Chaos(tinyScale) {
-		if r.ForegroundErrors != 0 {
-			t.Errorf("%s: %d foreground op failures, want 0", r.Scenario, r.ForegroundErrors)
-		}
-		if r.VerifyErrors != 0 {
-			t.Errorf("%s: %d objects failed verification, want 0", r.Scenario, r.VerifyErrors)
-		}
-		if r.ScrubIssues != 0 {
-			t.Errorf("%s: %d scrub issues, want 0", r.Scenario, r.ScrubIssues)
-		}
-		if r.GCStaleRefs != 0 {
-			t.Errorf("%s: %d stale refs after GC, want 0", r.Scenario, r.GCStaleRefs)
-		}
-		if r.DetectLatency <= 0 {
-			t.Errorf("%s: detection latency %v, want > 0 (crash must not be detected instantly)", r.Scenario, r.DetectLatency)
-		}
-		if len(r.Timeline) == 0 {
-			t.Errorf("%s: empty availability timeline", r.Scenario)
+	for _, seed := range []int64{811, 1907} {
+		for _, r := range ChaosSeeded(tinyScale, seed) {
+			name := r.Scenario
+			if r.ForegroundErrors != 0 {
+				t.Errorf("%s seed %d: %d foreground op failures, want 0", name, seed, r.ForegroundErrors)
+			}
+			if r.VerifyErrors != 0 {
+				t.Errorf("%s seed %d: %d objects failed verification, want 0", name, seed, r.VerifyErrors)
+			}
+			if r.ScrubIssues != 0 {
+				t.Errorf("%s seed %d: %d scrub issues, want 0", name, seed, r.ScrubIssues)
+			}
+			if r.GCStaleRefs != 0 {
+				t.Errorf("%s seed %d: %d stale refs after GC, want 0", name, seed, r.GCStaleRefs)
+			}
+			if r.LostChunks != 0 {
+				t.Errorf("%s seed %d: %d lost chunks, want 0", name, seed, r.LostChunks)
+			}
+			if r.DetectLatency <= 0 {
+				t.Errorf("%s seed %d: detection latency %v, want > 0 (crash must not be detected instantly)", name, seed, r.DetectLatency)
+			}
+			if len(r.Timeline) == 0 {
+				t.Errorf("%s seed %d: empty availability timeline", name, seed)
+			}
+			if strings.Contains(name, "kill") {
+				// The burst scenarios must actually fire at the elevated
+				// fault rate (5 kills vs the single baseline crash).
+				crashes := 0
+				for _, ev := range r.Timeline {
+					if strings.HasPrefix(ev.What, "fault: crash-osd") {
+						crashes++
+					}
+				}
+				if crashes < 5 {
+					t.Errorf("%s seed %d: only %d crash faults fired, want 5", name, seed, crashes)
+				}
+			}
 		}
 	}
 }
