@@ -8,7 +8,7 @@
 //
 //	dedupctl [flags] <action>...
 //
-// Actions: status df metrics qos scrub corrupt repair gc audit evict verify chaos
+// Actions: status df metrics qos index scrub corrupt repair gc audit evict verify chaos
 package main
 
 import (
@@ -16,11 +16,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"dedupstore"
 	"dedupstore/internal/chaos"
 	"dedupstore/internal/chunker"
+	"dedupstore/internal/fpindex"
 	"dedupstore/internal/store"
 	"dedupstore/internal/workload"
 )
@@ -42,7 +45,7 @@ func main() {
 		traceIn  = flag.String("trace", "", "replay this block trace instead of synthetic fill")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos scrub corrupt repair gc audit evict verify chaos\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos index scrub corrupt repair gc audit evict verify chaos\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,6 +61,17 @@ func main() {
 	cfg.HitSet.HitCount = 1000
 	cfg.DedupThreads = 8
 	cfg.FalsePositiveRefs = *fpRefs
+	// The index action needs the fingerprint index up before the store opens
+	// the chunk pool, so pre-scan the action list.
+	for _, a := range actions {
+		if a == "index" {
+			cfg.FPIndex = fpindex.DefaultConfig()
+			cfg.FPIndex.Enabled = true
+			// Demo-sized memtable so SSTables and compaction show up even on
+			// the default few-MB dataset.
+			cfg.FPIndex.MemtableBytes = 2 << 10
+		}
+	}
 	if *useCDC {
 		cdc := chunker.NewCDC(cfg.ChunkSize/4, cfg.ChunkSize, cfg.ChunkSize*4)
 		cfg.CDC = &cdc
@@ -85,6 +99,8 @@ func main() {
 			c.metrics()
 		case "qos":
 			c.qos()
+		case "index":
+			c.index()
 		case "scrub":
 			c.scrub(false)
 		case "repair":
@@ -191,6 +207,45 @@ func (c *ctl) qos() {
 			t.Class, t.Weight, t.MaxDepth, limit, t.Admitted, t.Queued, t.Throttled,
 			t.QueueLen, t.MaxQueue, t.QueueWait.Round(time.Microsecond), t.Busy.Round(time.Microsecond))
 	}
+}
+
+// index dumps the per-OSD fingerprint index state: live entries, memtable
+// and WAL footprint, SSTable bytes and per-level table counts, bloom
+// observed vs design false-positive rate, block-cache hit ratio and
+// compaction count — the dedupctl qos of the chunk-existence path.
+func (c *ctl) index() {
+	infos := c.world.Cluster.FPIndexPerOSD()
+	if len(infos) == 0 {
+		fmt.Println("fingerprint index not enabled (include the index action so the store opens with it)")
+		return
+	}
+	levels := func(s fpindex.Stats) string {
+		if len(s.LevelTables) == 0 {
+			return "-"
+		}
+		parts := make([]string, len(s.LevelTables))
+		for i, n := range s.LevelTables {
+			parts[i] = strconv.Itoa(n)
+		}
+		return strings.Join(parts, "/")
+	}
+	fmt.Printf("%-6s %9s %9s %9s %10s %8s %8s %10s %10s %9s %9s\n",
+		"osd", "entries", "mem KiB", "wal KiB", "table KiB", "tables", "levels", "obs FP %", "est FP %", "cache %", "compact")
+	for _, info := range infos {
+		s := info.Stats
+		fmt.Printf("osd.%-2d %9d %9d %9d %10d %8d %8s %10.2f %10.2f %9.1f %9d\n",
+			info.OSD, s.Entries, s.MemtableBytes>>10, s.WALBytes>>10, s.TableBytes>>10,
+			s.Tables, levels(s), 100*s.ObservedFP(), 100*s.EstimatedFP(),
+			100*s.CacheHitRatio(), s.Compactions)
+	}
+	t := c.world.Cluster.FPIndexStats()
+	fmt.Printf("%-6s %9d %9d %9d %10d %8d %8s %10.2f %10.2f %9.1f %9d\n",
+		"TOTAL", t.Entries, t.MemtableBytes>>10, t.WALBytes>>10, t.TableBytes>>10,
+		t.Tables, "-", 100*t.ObservedFP(), 100*t.EstimatedFP(),
+		100*t.CacheHitRatio(), t.Compactions)
+	fmt.Printf("lookups %d (memtable hits %d), inserts %d, deletes %d, flushes %d, WAL replays %d, lookup/store mismatches %d\n",
+		t.Lookups, t.MemHits, t.Inserts, t.Deletes, t.Flushes, t.Recoveries,
+		c.world.Cluster.Metrics().Counter("fpindex_lookup_mismatch_total").Value())
 }
 
 func (c *ctl) scrub(repair bool) {

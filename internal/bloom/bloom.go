@@ -120,8 +120,15 @@ func Unmarshal(b []byte) (*Filter, error) {
 	m := binary.LittleEndian.Uint64(b[0:])
 	k := binary.LittleEndian.Uint64(b[8:])
 	n := binary.LittleEndian.Uint64(b[16:])
+	// m ≥ 2^64−63 would wrap m+63 below, letting a tiny bits slice pass the
+	// length check and the first Contains index out of range. No legitimate
+	// filter is remotely that large (or uses hundreds of hash functions), so
+	// reject absurd headers outright.
+	if m == 0 || m > math.MaxUint64-63 || k == 0 || k > 256 {
+		return nil, ErrCorrupt
+	}
 	words := int((m + 63) / 64)
-	if len(b) != 24+8*words || m == 0 || k == 0 {
+	if len(b) != 24+8*words {
 		return nil, ErrCorrupt
 	}
 	f := New(m, k)

@@ -1,7 +1,9 @@
 package bloom
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -78,6 +80,31 @@ func TestUnmarshalCorrupt(t *testing.T) {
 	b := f.Marshal()
 	if _, err := Unmarshal(b[:len(b)-1]); err != ErrCorrupt {
 		t.Fatalf("truncated: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestUnmarshalOverflowHeader(t *testing.T) {
+	// m ≥ 2^64−63 used to wrap the words computation to 0, so a 24-byte
+	// payload passed the length check and the first Contains panicked with an
+	// out-of-range index.
+	buf := make([]byte, 24)
+	binary.LittleEndian.PutUint64(buf[0:], math.MaxUint64) // m
+	binary.LittleEndian.PutUint64(buf[8:], 3)              // k
+	binary.LittleEndian.PutUint64(buf[16:], 1)             // n
+	f, err := Unmarshal(buf)
+	if err != ErrCorrupt {
+		t.Fatalf("overflowing m: err = %v, want ErrCorrupt", err)
+	}
+	if f != nil {
+		f.ContainsString("boom") // would panic before the fix
+	}
+
+	// An absurd hash-function count is equally bogus even with a sane m.
+	g := New(128, 3)
+	b := g.Marshal()
+	binary.LittleEndian.PutUint64(b[8:], 100000)
+	if _, err := Unmarshal(b); err != ErrCorrupt {
+		t.Fatalf("absurd k: err = %v, want ErrCorrupt", err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dedupstore/internal/chunker"
+	"dedupstore/internal/fpindex"
 	"dedupstore/internal/hitset"
 	"dedupstore/internal/metrics"
 	"dedupstore/internal/qos"
@@ -97,6 +98,11 @@ type Config struct {
 	// its lower CPU cost, §5). Only valid with ModePostProcess. ChunkSize
 	// still governs the write path's caching granularity.
 	CDC *chunker.CDC
+	// FPIndex enables the per-OSD log-structured fingerprint index on the
+	// chunk pool (§4.5's dedup metadata as objects, realized as an LSM index
+	// over chunk fingerprints). Zero value (Enabled=false) keeps the flat
+	// in-memory map, so existing behavior and goldens are unchanged.
+	FPIndex fpindex.Config
 }
 
 // DefaultConfig mirrors the paper's evaluation setup: 32 KiB static chunks,
@@ -181,6 +187,11 @@ func Open(cluster *rados.Cluster, cfg Config) (*Store, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: create chunk pool: %w", err)
+	}
+	if cfg.FPIndex.Enabled {
+		if err := cluster.EnableFPIndex(chunk, cfg.FPIndex); err != nil {
+			return nil, fmt.Errorf("core: enable fingerprint index: %w", err)
+		}
 	}
 	s := &Store{
 		cluster:  cluster,

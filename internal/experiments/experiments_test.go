@@ -141,3 +141,57 @@ func TestScaleHelpers(t *testing.T) {
 		t.Fatal("count must clamp to 1")
 	}
 }
+
+// TestFPIndexShape runs the latency sweep at the golden scale and checks the
+// claims the table's notes make: a monotone hit-latency cliff once the index
+// outgrows the small cache, a flat profile under the large cache, near-flat
+// negative lookups under both, and bloom false positives within ~2x of the
+// filters' design rate. Both seeds must show the same shape.
+func TestFPIndexShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows := FPIndexLatencySweep(QuickScale())
+	// Group rows by (seed, cache); within each group entries ascend.
+	groups := map[[2]int64][]FPIndexLatencyRow{}
+	var order [][2]int64
+	for _, r := range rows {
+		k := [2]int64{r.Seed, r.CacheKiB}
+		if len(groups[k]) == 0 {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	for _, k := range order {
+		g := groups[k]
+		if len(g) < 3 {
+			t.Fatalf("seed %d cache %dKiB: only %d index sizes", k[0], k[1], len(g))
+		}
+		first, last := g[0], g[len(g)-1]
+		for i := 1; i < len(g); i++ {
+			if g[i].HitP50Us < g[i-1].HitP50Us*0.99 {
+				t.Errorf("seed %d cache %dKiB: hit p50 not monotone: %d entries %.1fus -> %d entries %.1fus",
+					k[0], k[1], g[i-1].Entries, g[i-1].HitP50Us, g[i].Entries, g[i].HitP50Us)
+			}
+		}
+		smallCache := last.IndexKiB > k[1]
+		if smallCache && last.HitP50Us < 1.2*first.HitP50Us {
+			t.Errorf("seed %d cache %dKiB: no cliff: index %dKiB exceeds cache but hit p50 %.1fus vs %.1fus",
+				k[0], k[1], last.IndexKiB, last.HitP50Us, first.HitP50Us)
+		}
+		if !smallCache && last.HitP50Us > 1.2*first.HitP50Us {
+			t.Errorf("seed %d cache %dKiB: cached config not flat: hit p50 %.1fus vs %.1fus",
+				k[0], k[1], last.HitP50Us, first.HitP50Us)
+		}
+		if last.NegP50Us > 1.2*first.NegP50Us {
+			t.Errorf("seed %d cache %dKiB: negative lookups not flat: p50 %.1fus vs %.1fus",
+				k[0], k[1], last.NegP50Us, first.NegP50Us)
+		}
+		for _, r := range g {
+			if r.ObsFPPct > 2*r.EstFPPct+0.1 {
+				t.Errorf("seed %d cache %dKiB entries %d: observed FP %.2f%% beyond 2x design %.2f%%",
+					k[0], k[1], r.Entries, r.ObsFPPct, r.EstFPPct)
+			}
+		}
+	}
+}

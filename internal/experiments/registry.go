@@ -78,6 +78,7 @@ func Registry() []Experiment {
 		NewExperiment("chaos", ChaosSweepResult),
 		NewExperiment("ablation", AblationResult),
 		NewExperiment("qos", QoSResult),
+		NewExperiment("fpindex", FPIndexResult),
 	}
 }
 

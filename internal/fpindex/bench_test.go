@@ -1,0 +1,63 @@
+package fpindex
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFingerprintLookup measures the three lookup regimes the fpindex
+// experiment's latency model rests on: a present key served through a warm
+// block cache, an absent key rejected by bloom filters alone, and a present
+// key whose block is never cached (every probe walks the full read path).
+func BenchmarkFingerprintLookup(b *testing.B) {
+	const n = 100_000
+	build := func(cacheBytes int) *Index {
+		cfg := DefaultConfig()
+		cfg.CacheBytes = cacheBytes
+		x := New(cfg, IO{})
+		for i := 0; i < n; i++ {
+			x.Insert(nil, key(i), 4096)
+		}
+		x.Flush(nil)
+		for x.CompactOnce(nil) {
+		}
+		return x
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		x := build(64 << 20) // cache holds the whole table set
+		for i := 0; i < n; i++ {
+			x.Lookup(nil, key(i)) // warm every block
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !x.Lookup(nil, key(i%n)) {
+				b.Fatal("hit lookup missed")
+			}
+		}
+	})
+
+	b.Run("bloom-filtered-miss", func(b *testing.B) {
+		x := build(64 << 20)
+		miss := make([]string, 4096)
+		for i := range miss {
+			miss[i] = fmt.Sprintf("absent.%d", i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if x.Lookup(nil, miss[i%len(miss)]) {
+				b.Fatal("absent key found")
+			}
+		}
+	})
+
+	b.Run("cold-miss", func(b *testing.B) {
+		x := build(0) // cache disabled: every positive probe reads its block
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !x.Lookup(nil, key(i%n)) {
+				b.Fatal("cold lookup missed")
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package fpindex
+
+import "container/list"
+
+// blockKey identifies one cached SSTable data block.
+type blockKey struct {
+	table uint64
+	block int
+}
+
+type cacheItem struct {
+	key   blockKey
+	bytes int
+}
+
+// blockCache is a byte-capped LRU over SSTable data blocks. A capacity of 0
+// disables it (every bloom-positive probe pays a disk read).
+type blockCache struct {
+	cap   int
+	bytes int
+	ll    *list.List // front = most recently used
+	items map[blockKey]*list.Element
+}
+
+func newBlockCache(capBytes int) *blockCache {
+	return &blockCache{cap: capBytes, ll: list.New(), items: make(map[blockKey]*list.Element)}
+}
+
+// get reports a hit and refreshes the block's recency.
+func (c *blockCache) get(k blockKey) bool {
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	c.ll.MoveToFront(el)
+	return true
+}
+
+// add inserts a block, evicting least-recently-used blocks over capacity.
+func (c *blockCache) add(k blockKey, bytes int) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(cacheItem{key: k, bytes: bytes})
+	c.bytes += bytes
+	for c.bytes > c.cap && c.ll.Len() > 0 {
+		c.evict(c.ll.Back())
+	}
+}
+
+func (c *blockCache) evict(el *list.Element) {
+	it := el.Value.(cacheItem)
+	c.ll.Remove(el)
+	delete(c.items, it.key)
+	c.bytes -= it.bytes
+}
+
+// dropTable evicts every block of a compacted-away table.
+func (c *blockCache) dropTable(table uint64) {
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(cacheItem).key.table == table {
+			c.evict(el)
+		}
+		el = next
+	}
+}
+
+// clear empties the cache (crash: cache contents are RAM).
+func (c *blockCache) clear() {
+	c.ll.Init()
+	c.items = make(map[blockKey]*list.Element)
+	c.bytes = 0
+}

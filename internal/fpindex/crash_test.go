@@ -1,0 +1,183 @@
+package fpindex
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// expectKeys asserts the index's live key set is exactly want: every key
+// present (nothing lost) and nothing else (nothing duplicated/resurrected).
+func expectKeys(t *testing.T, x *Index, want map[string]bool) {
+	t.Helper()
+	got := x.Keys()
+	seen := make(map[string]bool, len(got))
+	for _, k := range got {
+		if seen[k] {
+			t.Fatalf("duplicate key %q in merged index view", k)
+		}
+		seen[k] = true
+		if !want[k] {
+			t.Fatalf("unexpected key %q after recovery", k)
+		}
+	}
+	for k := range want {
+		if !seen[k] {
+			t.Fatalf("key %q lost after recovery", k)
+		}
+		if !x.Lookup(nil, k) {
+			t.Fatalf("Lookup(%q) = false after recovery", k)
+		}
+	}
+}
+
+func TestCrashBeforeAnyFlush(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MemtableBytes = 1 << 20 // never auto-flush
+	x := New(cfg, IO{})
+	want := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		x.Insert(nil, key(i), 0)
+		want[key(i)] = true
+	}
+	x.Crash()
+	if x.Lookup(nil, key(0)) {
+		t.Fatal("memtable survived crash")
+	}
+	x.Recover(nil)
+	expectKeys(t, x, want)
+	if st := x.Stats(); st.ReplayedRecs != 100 {
+		t.Fatalf("replayed %d records, want 100", st.ReplayedRecs)
+	}
+}
+
+// TestCrashMidFlushBeforeInstall kills the index after the new SSTable is
+// written but before it is referenced: the table is garbage, the WAL is
+// intact, and replay must restore every entry exactly once.
+func TestCrashMidFlushBeforeInstall(t *testing.T) {
+	x := New(smallConfig(), IO{})
+	x.hookBeforeInstall = func() bool { return true } // crash every flush
+	want := make(map[string]bool)
+	for i := 0; i < 60; i++ { // enough to trip the 1 KiB memtable threshold
+		x.Insert(nil, key(i), 0)
+		want[key(i)] = true
+	}
+	x.hookBeforeInstall = nil
+	x.Recover(nil)
+	expectKeys(t, x, want)
+	if st := x.Stats(); st.Tables != 0 {
+		t.Fatalf("unreferenced mid-flush table became visible: %d tables", st.Tables)
+	}
+}
+
+// TestCrashMidFlushAfterInstall kills the index between the SSTable install
+// (manifest update) and the WAL truncation — the classic double-apply
+// window. Replay must skip records the table already covers: no lost and no
+// duplicated fingerprints.
+func TestCrashMidFlushAfterInstall(t *testing.T) {
+	x := New(smallConfig(), IO{})
+	crashed := false
+	x.hookAfterInstall = func() bool {
+		crashed = true
+		return true
+	}
+	want := make(map[string]bool)
+	for i := 0; i < 200 && !crashed; i++ {
+		x.Insert(nil, key(i), 0)
+		want[key(i)] = true
+	}
+	if !crashed {
+		t.Fatal("flush never triggered")
+	}
+	x.hookAfterInstall = nil
+	preReplay := x.Stats()
+	if preReplay.Tables != 1 {
+		t.Fatalf("flushed table not installed: %d tables", preReplay.Tables)
+	}
+	if preReplay.WALBytes == 0 {
+		t.Fatal("WAL already truncated; crash window not modeled")
+	}
+	x.Recover(nil)
+	if st := x.Stats(); st.ReplayedRecs != 0 {
+		t.Fatalf("replay double-applied %d records already covered by the flushed table", st.ReplayedRecs)
+	}
+	expectKeys(t, x, want)
+}
+
+// TestCrashRecoverUnderMixedWrites interleaves inserts, deletes, crashes at
+// both flush windows and recoveries, checking the surviving key set against
+// a shadow map the whole way.
+func TestCrashRecoverUnderMixedWrites(t *testing.T) {
+	x := New(smallConfig(), IO{})
+	want := make(map[string]bool)
+	crashArm := 0
+	x.hookAfterInstall = func() bool { return crashArm == 1 }
+	x.hookBeforeInstall = func() bool { return crashArm == 2 }
+	for round := 0; round < 6; round++ {
+		crashArm = round % 3
+		for i := 0; i < 80; i++ {
+			k := key(round*37 + i)
+			if i%5 == 0 {
+				x.Delete(nil, k)
+				delete(want, k)
+			} else {
+				x.Insert(nil, k, 0)
+				want[k] = true
+			}
+		}
+		x.Crash()
+		x.Recover(nil)
+		expectKeys(t, x, want)
+	}
+}
+
+// TestCompactionLookupRace drives lookups and compactions from real
+// concurrent goroutines (uncharged, so nothing parks) to let the race
+// detector check the index's internal locking.
+func TestCompactionLookupRace(t *testing.T) {
+	cfg := smallConfig()
+	cfg.LevelFanout = 2
+	x := New(cfg, IO{})
+	fill(x, 2000)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	compactorDone := make(chan struct{})
+	go func() {
+		defer close(compactorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x.CompactOnce(nil)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				if i%3 == 0 {
+					x.Insert(nil, fmt.Sprintf("new.%d.%d", g, i), 0)
+				}
+				if !x.Lookup(nil, key(i%2000)) {
+					t.Errorf("key %d lost during concurrent compaction", i%2000)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				_ = x.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-compactorDone
+}

@@ -1,0 +1,222 @@
+package fpindex
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dedupstore/internal/sim"
+)
+
+// smallConfig flushes and compacts quickly so tests exercise every layer
+// with a few hundred keys.
+func smallConfig() Config {
+	return Config{
+		Enabled:       true,
+		MemtableBytes: 1 << 10,
+		BlockBytes:    256,
+		CacheBytes:    4 << 10,
+		BloomFP:       0.01,
+		LevelFanout:   3,
+	}
+}
+
+func key(i int) string { return fmt.Sprintf("chk.%08x", i*2654435761) }
+
+func fill(x *Index, n int) {
+	for i := 0; i < n; i++ {
+		x.Insert(nil, key(i), 4096)
+	}
+}
+
+func compactAll(x *Index) {
+	for x.CompactOnce(nil) {
+	}
+}
+
+func TestLookupAcrossLayers(t *testing.T) {
+	x := New(smallConfig(), IO{})
+	const n = 500
+	fill(x, n)
+	compactAll(x)
+	for i := 0; i < n; i++ {
+		if !x.Lookup(nil, key(i)) {
+			t.Fatalf("key %d lost (memtable/sstable/compaction)", i)
+		}
+	}
+	for i := n; i < 2*n; i++ {
+		if x.Lookup(nil, key(i)) {
+			t.Fatalf("absent key %d reported present", i)
+		}
+	}
+	st := x.Stats()
+	if st.Flushes == 0 || st.Compactions == 0 {
+		t.Fatalf("expected flushes and compactions, got %+v", st)
+	}
+	if st.Tables == 0 || st.Levels < 2 {
+		t.Fatalf("expected a leveled table set, got tables=%d levels=%d", st.Tables, st.Levels)
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	x := New(smallConfig(), IO{})
+	fill(x, 200)
+	for i := 0; i < 200; i += 2 {
+		x.Delete(nil, key(i))
+	}
+	x.Flush(nil)
+	compactAll(x)
+	for i := 0; i < 200; i++ {
+		got := x.Lookup(nil, key(i))
+		want := i%2 == 1
+		if got != want {
+			t.Fatalf("key %d: lookup=%v want %v", i, got, want)
+		}
+	}
+	if live := len(x.Keys()); live != 100 {
+		t.Fatalf("live keys = %d, want 100", live)
+	}
+}
+
+func TestTombstonesDroppedAtDeepestLevel(t *testing.T) {
+	x := New(smallConfig(), IO{})
+	fill(x, 100)
+	for i := 0; i < 100; i++ {
+		x.Delete(nil, key(i))
+	}
+	x.Flush(nil)
+	// Cascade until one deepest run remains; tombstones must be gone.
+	for x.CompactOnce(nil) {
+	}
+	st := x.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("tombstones survived full compaction: %d entries", st.Entries)
+	}
+}
+
+func TestObservedFPTracksEstimate(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BloomFP = 0.05
+	x := New(cfg, IO{})
+	fill(x, 2000)
+	x.Flush(nil)
+	compactAll(x)
+	for i := 0; i < 20000; i++ {
+		x.Lookup(nil, fmt.Sprintf("absent.%d", i))
+	}
+	st := x.Stats()
+	if st.AbsentProbes == 0 {
+		t.Fatal("no absent probes recorded")
+	}
+	obs, est := st.ObservedFP(), st.EstimatedFP()
+	if est <= 0 {
+		t.Fatalf("estimated FP = %v", est)
+	}
+	if obs > 2*est+0.01 {
+		t.Fatalf("observed FP %v far above estimate %v", obs, est)
+	}
+}
+
+func TestCacheHitsOnRepeatedLookups(t *testing.T) {
+	x := New(smallConfig(), IO{})
+	fill(x, 400)
+	x.Flush(nil)
+	compactAll(x)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 400; i++ {
+			x.Lookup(nil, key(i))
+		}
+	}
+	st := x.Stats()
+	if st.CacheHits == 0 {
+		t.Fatalf("no cache hits over repeated scans: %+v", st)
+	}
+	if st.CacheBytes > int64(x.cfg.CacheBytes) {
+		t.Fatalf("cache over capacity: %d > %d", st.CacheBytes, x.cfg.CacheBytes)
+	}
+}
+
+func TestZeroCacheStillCorrect(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CacheBytes = 0
+	x := New(cfg, IO{})
+	fill(x, 300)
+	x.Flush(nil)
+	for i := 0; i < 300; i++ {
+		if !x.Lookup(nil, key(i)) {
+			t.Fatalf("key %d lost with cache disabled", i)
+		}
+	}
+	st := x.Stats()
+	if st.CacheHits != 0 {
+		t.Fatalf("cache disabled but %d hits", st.CacheHits)
+	}
+}
+
+func TestChargedIO(t *testing.T) {
+	eng := sim.New(1)
+	var reads, writes int
+	io := IO{
+		Read:  func(p *sim.Proc, n int) { reads += n; p.Sleep(time.Duration(n) * time.Nanosecond) },
+		Write: func(p *sim.Proc, n int) { writes += n; p.Sleep(time.Duration(n) * time.Nanosecond) },
+		CPU:   func(p *sim.Proc, d time.Duration) { p.Sleep(d) },
+	}
+	x := New(smallConfig(), io)
+	eng.Go("load", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			x.Insert(p, key(i), 4096)
+		}
+		x.Flush(p)
+		for x.CompactOnce(p) {
+		}
+		for i := 0; i < 300; i++ {
+			if !x.Lookup(p, key(i)) {
+				t.Errorf("key %d lost under charged IO", i)
+			}
+		}
+	})
+	eng.Run()
+	if writes == 0 || reads == 0 {
+		t.Fatalf("expected charged IO, got reads=%d writes=%d", reads, writes)
+	}
+	st := x.Stats()
+	if st.WriteBytes != int64(writes) || st.ReadBytes != int64(reads) {
+		t.Fatalf("stats IO (%d/%d) disagree with adapter (%d/%d)",
+			st.ReadBytes, st.WriteBytes, reads, writes)
+	}
+	if eng.Now() == 0 {
+		t.Fatal("charged ops advanced no virtual time")
+	}
+}
+
+func TestResetWipesEverything(t *testing.T) {
+	x := New(smallConfig(), IO{})
+	fill(x, 200)
+	x.Flush(nil)
+	x.Reset()
+	st := x.Stats()
+	if st.Entries != 0 || st.Tables != 0 || st.WALBytes != 0 || st.MemtableBytes != 0 {
+		t.Fatalf("reset left state: %+v", st)
+	}
+	if x.Lookup(nil, key(0)) {
+		t.Fatal("reset index still finds keys")
+	}
+}
+
+func TestDeterministicStructure(t *testing.T) {
+	build := func() Stats {
+		x := New(smallConfig(), IO{})
+		fill(x, 777)
+		for i := 0; i < 777; i += 3 {
+			x.Delete(nil, key(i))
+		}
+		x.Flush(nil)
+		compactAll(x)
+		return x.Stats()
+	}
+	a, b := build(), build()
+	if a.Tables != b.Tables || a.TableBytes != b.TableBytes || a.Entries != b.Entries ||
+		a.Flushes != b.Flushes || a.Compactions != b.Compactions {
+		t.Fatalf("structure not deterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"dedupstore/internal/crush"
 	"dedupstore/internal/ec"
+	"dedupstore/internal/fpindex"
 	"dedupstore/internal/metrics"
 	"dedupstore/internal/qos"
 	"dedupstore/internal/sim"
@@ -136,6 +137,9 @@ type osd struct {
 	// OSD stays "up" in the map until the heartbeat monitor's grace period
 	// expires, which is exactly the degraded window chaos experiments probe.
 	alive bool
+	// fpidx is the OSD's log-structured fingerprint index, non-nil only when
+	// EnableFPIndex armed one for a pool this OSD serves.
+	fpidx *fpindex.Index
 }
 
 // diskRead charges a read of n bytes at this OSD's device speed, admitted
@@ -196,6 +200,11 @@ type Cluster struct {
 	// qwait pre-resolves the per-class queue-wait histograms so the
 	// admission hot path avoids a registry lookup per I/O.
 	qwait [qos.NumClasses]*metrics.Histogram
+
+	// fpPool is the id of the pool fronted by per-OSD fingerprint indexes
+	// (0 = disabled); fpCfg is the index configuration shared by all OSDs.
+	fpPool uint64
+	fpCfg  fpindex.Config
 }
 
 // Option configures a Cluster.
@@ -300,6 +309,9 @@ func (c *Cluster) AddOSDClass(id int, hostName string, weight float64, class str
 	o.sched = c.qsched.NewScheduler(o.disk)
 	c.rmon.Watch(o.disk)
 	c.osds[id] = o
+	if c.fpPool != 0 {
+		c.attachFPIndex(o) // index enabled before this OSD joined
+	}
 	return nil
 }
 
@@ -454,6 +466,7 @@ func (c *Cluster) DumpMetrics() string {
 		c.reg.Gauge(base + "_queue_wait_us").Set(t.QueueWait.Microseconds())
 		c.reg.Gauge(base + "_busy_us").Set(t.Busy.Microseconds())
 	}
+	c.publishFPIndexMetrics()
 	return c.reg.Dump()
 }
 
@@ -544,6 +557,9 @@ func (c *Cluster) CrashOSD(id int) error {
 		return fmt.Errorf("rados: unknown osd %d", id)
 	}
 	o.alive = false
+	if o.fpidx != nil {
+		o.fpidx.Crash() // memtable and block cache are RAM; WAL+tables survive
+	}
 	c.reg.Counter("rados_osd_crashes_total").Inc()
 	return nil
 }
@@ -561,8 +577,15 @@ func (c *Cluster) RestartOSD(id int) error {
 	if o.alive {
 		return nil
 	}
+	if o.fpidx != nil {
+		o.fpidx.Recover(nil) // WAL replay restores the index to its crash point
+	}
 	for key := range c.missed[id] {
+		existed := o.store.Exists(key)
 		_ = o.store.Apply(key, store.NewTxn().Delete())
+		// Peering wipes stale copies from the store; the index must tombstone
+		// them too or later probes would disagree with the store.
+		c.fpNote(nil, o, key, existed, false)
 	}
 	delete(c.missed, id)
 	o.alive = true
@@ -688,6 +711,9 @@ func (c *Cluster) reconcileMissed(key store.Key, applied map[int]bool) {
 		}
 		if o.store.Exists(key) {
 			_ = o.store.Apply(key, store.NewTxn().Delete())
+			// Stray cleanup has no proc context: the index tombstone is
+			// applied uncharged, like the store delete above.
+			c.fpNote(nil, o, key, true, false)
 		}
 	}
 }

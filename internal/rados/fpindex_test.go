@@ -1,0 +1,262 @@
+package rados
+
+import (
+	"fmt"
+	"testing"
+
+	"dedupstore/internal/fpindex"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/simcost"
+)
+
+// smallFPConfig flushes and compacts aggressively so a few hundred objects
+// exercise WAL, tables, and merges.
+func smallFPConfig() fpindex.Config {
+	return fpindex.Config{
+		Enabled:       true,
+		MemtableBytes: 2 << 10,
+		BlockBytes:    512,
+		CacheBytes:    8 << 10,
+		BloomFP:       0.01,
+		LevelFanout:   3,
+	}
+}
+
+// runFP drives fn to completion, tolerating the per-OSD compaction daemons
+// that stay parked between runs.
+func runFP(t *testing.T, eng *sim.Engine, daemons int, fn func(p *sim.Proc)) {
+	t.Helper()
+	var procErr error
+	eng.Go("test", func(p *sim.Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				procErr = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		fn(p)
+	})
+	if left := eng.Run(); left != daemons {
+		t.Fatalf("%d processes left blocked (want %d compaction daemons)", left, daemons)
+	}
+	if procErr != nil {
+		t.Fatal(procErr)
+	}
+}
+
+// checkLockstep asserts every OSD's index agrees exactly with its store's
+// key set for the indexed pool.
+func checkLockstep(t *testing.T, c *Cluster, pool *Pool) {
+	t.Helper()
+	for _, id := range c.OSDs() {
+		o := c.osds[id]
+		if o.fpidx == nil {
+			t.Fatalf("osd %d has no index", id)
+		}
+		want := make(map[string]bool)
+		for _, key := range o.store.Keys() {
+			if key.Pool == pool.ID {
+				want[key.OID] = true
+			}
+		}
+		got := o.fpidx.Keys()
+		if len(got) != len(want) {
+			t.Fatalf("osd %d: index holds %d keys, store holds %d", id, len(got), len(want))
+		}
+		for _, k := range got {
+			if !want[k] {
+				t.Fatalf("osd %d: index key %q not in store", id, k)
+			}
+		}
+	}
+	if n := c.Metrics().Counter("fpindex_lookup_mismatch_total").Value(); n != 0 {
+		t.Fatalf("index/store disagreed on %d probes", n)
+	}
+}
+
+func TestFPIndexLockstepWithStore(t *testing.T) {
+	eng := sim.New(7)
+	c := NewTestbed(eng, simcost.Default(), 2, 2)
+	pool, err := c.CreatePool(PoolConfig{Name: "chunks", PGNum: 32, Redundancy: ReplicatedN(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableFPIndex(pool, smallFPConfig()); err != nil {
+		t.Fatal(err)
+	}
+	gw := c.NewGateway("client0")
+	oid := func(i int) string { return fmt.Sprintf("chk.%08x", i*2654435761) }
+	runFP(t, eng, 4, func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			if err := gw.WriteFull(p, pool, oid(i), make([]byte, 512)); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < 300; i += 3 {
+			if err := gw.Delete(p, pool, oid(i)); err != nil {
+				t.Errorf("delete %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < 300; i++ {
+			ok, err := gw.Exists(p, pool, oid(i))
+			if err != nil {
+				t.Errorf("exists %d: %v", i, err)
+				return
+			}
+			if want := i%3 != 0; ok != want {
+				t.Errorf("exists(%d) = %v, want %v", i, ok, want)
+				return
+			}
+		}
+		// Direct probes at the acting primary (the experiment's fast path).
+		for i := 1; i < 300; i += 3 {
+			found, err := c.FPLookup(p, oid(i))
+			if err != nil || !found {
+				t.Errorf("FPLookup(%d) = %v, %v", i, found, err)
+				return
+			}
+		}
+		if found, _ := c.FPLookup(p, "chk.absent"); found {
+			t.Error("FPLookup found an absent fingerprint")
+		}
+	})
+	checkLockstep(t, c, pool)
+	st := c.FPIndexStats()
+	if st.Flushes == 0 {
+		t.Fatalf("no memtable flushes across 300 objects: %+v", st)
+	}
+	if st.Lookups == 0 || st.BloomChecks == 0 {
+		t.Fatalf("index never consulted: %+v", st)
+	}
+	if st.ReadBytes == 0 || st.WriteBytes == 0 {
+		t.Fatalf("no modeled index I/O charged: reads=%d writes=%d", st.ReadBytes, st.WriteBytes)
+	}
+}
+
+func TestFPIndexCrashRestartPeering(t *testing.T) {
+	eng := sim.New(11)
+	c := NewTestbed(eng, simcost.Default(), 2, 2)
+	pool, err := c.CreatePool(PoolConfig{Name: "chunks", PGNum: 32, Redundancy: ReplicatedN(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableFPIndex(pool, smallFPConfig()); err != nil {
+		t.Fatal(err)
+	}
+	gw := c.NewGateway("client0")
+	oid := func(i int) string { return fmt.Sprintf("chk.%08x", i*40503) }
+	victim := c.OSDs()[0]
+	runFP(t, eng, 4, func(p *sim.Proc) {
+		for i := 0; i < 120; i++ {
+			if err := gw.WriteFull(p, pool, oid(i), make([]byte, 256)); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+		if err := c.CrashOSD(victim); err != nil {
+			t.Errorf("crash: %v", err)
+			return
+		}
+		// Writes and deletes the victim misses while down.
+		for i := 120; i < 180; i++ {
+			_ = gw.WriteFull(p, pool, oid(i), make([]byte, 256))
+		}
+		for i := 0; i < 60; i += 2 {
+			_ = gw.Delete(p, pool, oid(i))
+		}
+		if err := c.RestartOSD(victim); err != nil {
+			t.Errorf("restart: %v", err)
+			return
+		}
+	})
+	// After restart peering (store wipe of missed keys + index recovery +
+	// tombstones) every OSD's index must still match its store exactly.
+	checkLockstep(t, c, pool)
+}
+
+func TestFPIndexReplaceOSDResets(t *testing.T) {
+	eng := sim.New(13)
+	c := NewTestbed(eng, simcost.Default(), 2, 2)
+	pool, err := c.CreatePool(PoolConfig{Name: "chunks", PGNum: 32, Redundancy: ReplicatedN(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableFPIndex(pool, smallFPConfig()); err != nil {
+		t.Fatal(err)
+	}
+	gw := c.NewGateway("client0")
+	runFP(t, eng, 4, func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			_ = gw.WriteFull(p, pool, fmt.Sprintf("chk.%d", i), make([]byte, 256))
+		}
+	})
+	victim := c.OSDs()[1]
+	if _, err := c.ReplaceOSD(victim); err != nil {
+		t.Fatal(err)
+	}
+	runFP(t, eng, 4, func(p *sim.Proc) {
+		c.Recover(p)
+	})
+	checkLockstep(t, c, pool)
+}
+
+func TestFPIndexRejectsErasurePools(t *testing.T) {
+	eng := sim.New(1)
+	c := NewTestbed(eng, simcost.Default(), 2, 2)
+	ecp, err := c.CreatePool(PoolConfig{Name: "ecp", PGNum: 32, Redundancy: ErasureKM(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableFPIndex(ecp, smallFPConfig()); err == nil {
+		t.Fatal("EnableFPIndex accepted an erasure pool")
+	}
+}
+
+func TestFPIndexMetricsPublished(t *testing.T) {
+	eng := sim.New(3)
+	c := NewTestbed(eng, simcost.Default(), 2, 2)
+	pool, _ := c.CreatePool(PoolConfig{Name: "chunks", PGNum: 32, Redundancy: ReplicatedN(2)})
+	if err := c.EnableFPIndex(pool, smallFPConfig()); err != nil {
+		t.Fatal(err)
+	}
+	gw := c.NewGateway("client0")
+	runFP(t, eng, 4, func(p *sim.Proc) {
+		for i := 0; i < 150; i++ {
+			_ = gw.WriteFull(p, pool, fmt.Sprintf("chk.%d", i), make([]byte, 256))
+		}
+		for i := 0; i < 150; i++ {
+			_, _ = gw.Exists(p, pool, fmt.Sprintf("chk.%d", i))
+		}
+	})
+	dump := c.DumpMetrics()
+	for _, want := range []string{
+		"fpindex_lookups_total", "fpindex_inserts_total", "fpindex_entries",
+		"fpindex_bloom_checks_total", "fpindex_cache_hit_ppm",
+		"fpindex_bloom_fp_observed_ppm", "fpindex_compactions_total",
+	} {
+		if !containsMetric(dump, want) {
+			t.Fatalf("metric %q missing from dump", want)
+		}
+	}
+	// Trace spans: index probes record under their own span name.
+	found := false
+	for _, sp := range c.Trace().Recent(4096) {
+		if sp.Name == "fpindex.lookup" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no fpindex.lookup trace spans recorded")
+	}
+}
+
+func containsMetric(dump, name string) bool {
+	for i := 0; i+len(name) <= len(dump); i++ {
+		if dump[i:i+len(name)] == name {
+			return true
+		}
+	}
+	return false
+}

@@ -203,6 +203,9 @@ func (g *Gateway) read(p *sim.Proc, pool *Pool, oid string, off, length int64) (
 	key := store.Key{Pool: pool.ID, OID: oid}
 	p.Sleep(g.c.cost.NetLatency) // request
 	serving.host.cpu.Use(p, g.c.cost.OpOverhead)
+	// Locating a chunk object on the indexed pool walks the fingerprint
+	// index before the data read.
+	g.fpProbe(p, pool, oid, serving)
 	data, err := serving.store.Read(key, off, length)
 	if err != nil {
 		g.noteOp(0)
@@ -392,6 +395,9 @@ func (g *Gateway) mutateWithPayload(p *sim.Proc, pool *Pool, oid string, payload
 		p.Sleep(g.c.cost.NetLatency)
 	}
 	primary.host.cpu.Use(p, g.c.cost.OpOverhead)
+	// A mutation on the indexed pool (chunk create-or-ref, refcount update)
+	// first resolves the fingerprint through the index.
+	g.fpProbe(p, pool, oid, primary)
 	txn, err := fn(replView{st: primary.store, k: key})
 	if err != nil {
 		g.noteOp(0)
@@ -463,6 +469,7 @@ func (g *Gateway) pullOnDemand(p *sim.Proc, pool *Pool, oid string, primary *osd
 	g.c.netSend(p, g.cls, primary.host.nicSched, n)
 	primary.host.cpu.Use(p, cost.OpOverhead)
 	primary.store.Install(key, snap)
+	g.c.fpNote(p, primary, key, false, true)
 	primary.diskWrite(p, g.cls, cost, n)
 	g.c.reg.Counter("rados_ondemand_pulls_total").Inc()
 }
@@ -564,6 +571,9 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 	if err := primary.store.Apply(key, txn); err != nil {
 		return err
 	}
+	// Keep the fingerprint index in lockstep with the store transition
+	// (created → WAL insert, removed → tombstone), charged to this op.
+	g.c.fpNote(p, primary, key, existedBefore, primary.store.Exists(key))
 	journal := p.Go("journal", func(q *sim.Proc) {
 		jsp := g.c.sink.Start(q, "rados.journal").
 			SetOp(pool.Name, pg.String(), int64(txn.Bytes())).
@@ -582,7 +592,8 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 		do: func(q *sim.Proc, _ int, r *osd) {
 			g.c.netSend(q, g.cls, r.host.nicSched, payload)
 			r.host.cpu.Use(q, cost.OpOverhead)
-			if existedBefore && !r.store.Exists(key) {
+			rExisted := r.store.Exists(key)
+			if existedBefore && !rExisted {
 				// The replica missed earlier updates (its stale copy was
 				// wiped on restart): heal with a full copy of the primary's
 				// post-txn state. If the txn deleted the object the snapshot
@@ -591,6 +602,7 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 					n := objBytes(snap)
 					g.c.netSend(q, g.cls, r.host.nicSched, n)
 					r.store.Install(key, snap)
+					g.c.fpNote(q, r, key, rExisted, true)
 					r.diskWrite(q, g.cls, cost, n)
 					g.c.reg.Counter("rados_replica_heals_total").Inc()
 					return
@@ -604,10 +616,12 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 				// repair scrub restores the redundancy from the primary.
 				g.c.reg.Counter("rados_replica_diverged_total").Inc()
 				_ = r.store.Apply(key, store.NewTxn().Delete())
+				g.c.fpNote(q, r, key, rExisted, false)
 				g.c.noteMissed(r.id, key)
 				r.diskWrite(q, g.cls, cost, 0)
 				return
 			}
+			g.c.fpNote(q, r, key, rExisted, r.store.Exists(key))
 			r.diskWrite(q, g.cls, cost, txn.Bytes())
 		},
 	})
@@ -681,6 +695,9 @@ func (g *Gateway) metaOp(p *sim.Proc, pool *Pool, oid string) (*osd, error) {
 	p.Sleep(g.c.cost.NetLatency)
 	serving.host.cpu.Use(p, g.c.cost.OpOverhead)
 	serving.diskRead(p, g.cls, g.c.cost, 512)
+	// On the fingerprint-indexed pool the existence answer comes from the
+	// OSD's log-structured index, whose probe cost is charged here.
+	g.fpProbe(p, pool, oid, serving)
 	p.Sleep(g.c.cost.NetLatency)
 	return serving, nil
 }

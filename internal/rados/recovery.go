@@ -39,6 +39,9 @@ func (c *Cluster) ReplaceOSD(id int) (recoveryPending bool, err error) {
 		return false, fmt.Errorf("rados: unknown osd %d", id)
 	}
 	o.store.Clear()
+	if o.fpidx != nil {
+		o.fpidx.Reset() // fresh device: the index starts empty too
+	}
 	delete(c.missed, id) // fresh device: nothing stale left to wipe
 	o.alive = true
 	c.cmap.SetUp(id, true)
@@ -279,7 +282,9 @@ func (c *Cluster) runRecoveryTask(q *sim.Proc, t recoveryTask, stats *RecoverySt
 	cost := c.cost
 	switch t.kind {
 	case "delete":
+		existed := t.dst.store.Exists(t.key)
 		_ = t.dst.store.Apply(t.key, store.NewTxn().Delete())
+		c.fpNote(q, t.dst, t.key, existed, false)
 		t.dst.diskWrite(q, qos.Recovery, cost, 0)
 		stats.ObjectsDeleted++
 	case "copy":
@@ -291,7 +296,9 @@ func (c *Cluster) runRecoveryTask(q *sim.Proc, t recoveryTask, stats *RecoverySt
 		t.src.diskRead(q, qos.Recovery, cost, n)
 		c.netSend(q, qos.Recovery, t.dst.host.nicSched, n)
 		t.dst.host.cpu.Use(q, cost.OpOverhead)
+		existed := t.dst.store.Exists(t.key)
 		t.dst.store.Install(t.key, snap)
+		c.fpNote(q, t.dst, t.key, existed, true)
 		t.dst.diskWrite(q, qos.Recovery, cost, n)
 		stats.ObjectsCopied++
 		stats.BytesMoved += int64(n)

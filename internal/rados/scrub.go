@@ -127,7 +127,9 @@ func (c *Cluster) scrubReplicated(p *sim.Proc, pool *Pool, oid string, repair bo
 
 func (c *Cluster) repairCopy(p *sim.Proc, key store.Key, src, dst *osd, auth *store.Object, stats *ScrubStats) {
 	c.netSend(p, qos.Scrub, dst.host.nicSched, auth.PayloadBytes())
+	existed := dst.store.Exists(key)
 	dst.store.Install(key, auth)
+	c.fpNote(p, dst, key, existed, true)
 	dst.diskWrite(p, qos.Scrub, c.cost, auth.PayloadBytes())
 	stats.Repaired++
 }
