@@ -1,5 +1,5 @@
 # Tier-1 verification: everything a PR must keep green.
-.PHONY: verify build test vet race check-tests bench golden golden-write bench-json fmt-check
+.PHONY: verify build test vet race check-tests bench kernel-bench profile golden golden-write bench-json fmt-check
 
 verify: vet build test check-tests
 
@@ -23,6 +23,18 @@ check-tests:
 
 bench:
 	go test -bench=. -benchmem
+
+# Kernel hot-path microbenchmarks: the DES engine and the metrics/trace
+# primitives every simulated I/O passes through. CI runs these so dispatch
+# cost and allocs/op regressions show up in review.
+kernel-bench:
+	go test -run NONE -bench=. -benchmem ./internal/sim ./internal/metrics
+
+# CPU + heap profile of the golden sweep — the kernel's real workload.
+# Inspect with `go tool pprof profiles/sweep.cpu.pprof`.
+profile:
+	mkdir -p profiles
+	go run ./cmd/dedupbench -scale 0.25 -results '' -cpuprofile profiles/sweep.cpu.pprof -memprofile profiles/sweep.mem.pprof all
 
 # Fail if any file needs gofmt (same check CI runs).
 fmt-check:

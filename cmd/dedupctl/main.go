@@ -8,7 +8,7 @@
 //
 //	dedupctl [flags] <action>...
 //
-// Actions: status df metrics qos index scrub corrupt repair gc audit evict verify chaos
+// Actions: status df metrics qos sim index scrub corrupt repair gc audit evict verify chaos
 package main
 
 import (
@@ -45,7 +45,7 @@ func main() {
 		traceIn  = flag.String("trace", "", "replay this block trace instead of synthetic fill")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos index scrub corrupt repair gc audit evict verify chaos\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos sim index scrub corrupt repair gc audit evict verify chaos\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -99,6 +99,8 @@ func main() {
 			c.metrics()
 		case "qos":
 			c.qos()
+		case "sim":
+			c.simStats()
 		case "index":
 			c.index()
 		case "scrub":
@@ -207,6 +209,27 @@ func (c *ctl) qos() {
 			t.Class, t.Weight, t.MaxDepth, limit, t.Admitted, t.Queued, t.Throttled,
 			t.QueueLen, t.MaxQueue, t.QueueWait.Round(time.Microsecond), t.Busy.Round(time.Microsecond))
 	}
+}
+
+// simStats prints the DES kernel's execution counters and the trace sink's
+// sampling state — what running the simulation itself cost, as opposed to
+// what the simulated cluster did.
+func (c *ctl) simStats() {
+	st := c.world.Engine.Stats()
+	fmt.Printf("virtual time: %v\n", c.world.Engine.Now())
+	fastPct := 0.0
+	if st.EventsDispatched > 0 {
+		fastPct = 100 * float64(st.FastPath) / float64(st.EventsDispatched)
+	}
+	fmt.Printf("events: %d scheduled, %d dispatched (%d same-time fast path, %.1f%%)\n",
+		st.EventsScheduled, st.EventsDispatched, st.FastPath, fastPct)
+	fmt.Printf("queues: event-heap high-water %d, same-time FIFO high-water %d\n",
+		st.PeakHeap, st.PeakFIFO)
+	fmt.Printf("procs: %d goroutines spawned, %d starts served from the free pool, %d live, %d pooled\n",
+		st.ProcsSpawned, st.ProcsReused, st.ProcsLive, st.ProcsPooled)
+	sink := c.world.Cluster.Trace()
+	fmt.Printf("trace: sampling 1 of every %d spans, %d seen, %d recorded\n",
+		sink.Sample(), sink.Seen(), sink.Total())
 }
 
 // index dumps the per-OSD fingerprint index state: live entries, memtable

@@ -159,4 +159,3 @@ func TestFingerprintIDDeterministic(t *testing.T) {
 		t.Fatalf("fingerprint ID %q has unexpected length", a)
 	}
 }
-

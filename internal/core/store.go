@@ -288,15 +288,47 @@ func IsSystemObject(oid string) bool {
 	return len(oid) >= 4 && oid[:4] == "sys."
 }
 
+// clientOpStats caches one dedup op kind's registry handles so per-op
+// completion avoids string-keyed registry lookups.
+type clientOpStats struct {
+	total *metrics.Counter
+	lat   *metrics.Histogram
+}
+
+func newClientOpStats(reg *metrics.Registry, kind string) clientOpStats {
+	return clientOpStats{
+		total: reg.Counter("dedup_op_total:" + kind),
+		lat:   reg.Histogram("dedup_op_latency:" + kind),
+	}
+}
+
+// clientOpCtx carries one in-flight client op: its trace span (nil when
+// sampling dropped it), stat handles, and start time.
+type clientOpCtx struct {
+	sp    *metrics.Span
+	st    *clientOpStats
+	start sim.Time
+}
+
 // Client opens a user session with its own network link.
 type Client struct {
 	s  *Store
 	gw *rados.Gateway
+
+	// Pre-resolved per-kind op handles (write/read/delete).
+	opWrite, opRead, opDelete clientOpStats
 }
 
 // Client returns a client session named name.
 func (s *Store) Client(name string) *Client {
-	return &Client{s: s, gw: s.cluster.NewGateway(name)}
+	reg := s.cluster.Metrics()
+	return &Client{
+		s:        s,
+		gw:       s.cluster.NewGateway(name),
+		opWrite:  newClientOpStats(reg, "dedup.write"),
+		opRead:   newClientOpStats(reg, "dedup.read"),
+		opDelete: newClientOpStats(reg, "dedup.delete"),
+	}
 }
 
 // Trace returns the cluster trace sink this client's operations record into.
@@ -304,20 +336,23 @@ func (cl *Client) Trace() *metrics.TraceSink { return cl.s.cluster.Trace() }
 
 // startOp opens a dedup-level trace span (the outermost span of a client
 // op; the rados ops it issues nest under it).
-func (cl *Client) startOp(p *sim.Proc, kind string, bytes int) *metrics.Span {
-	return cl.s.cluster.Trace().Start(p, kind).SetOp(cl.s.cfg.MetaPoolName, "", int64(bytes))
+func (cl *Client) startOp(p *sim.Proc, kind string, st *clientOpStats, bytes int) clientOpCtx {
+	sp := cl.s.cluster.Trace().Start(p, kind)
+	if sp != nil {
+		sp.SetOp(cl.s.cfg.MetaPoolName, "", int64(bytes))
+	}
+	return clientOpCtx{sp: sp, st: st, start: p.Now()}
 }
 
-// finishOp closes the span and records the op latency in the registry.
-func (cl *Client) finishOp(p *sim.Proc, sp *metrics.Span, err error) {
-	if sp == nil {
-		return
+// finishOp closes the span (recycling it — it must not be touched after)
+// and records the op latency in the registry.
+func (cl *Client) finishOp(p *sim.Proc, oc clientOpCtx, err error) {
+	if oc.sp != nil {
+		oc.sp.Err = err != nil
+		oc.sp.Finish(p)
 	}
-	sp.Err = err != nil
-	sp.Finish(p)
-	reg := cl.s.cluster.Metrics()
-	reg.Counter("dedup_op_total:" + sp.Name).Inc()
-	reg.Histogram("dedup_op_latency:" + sp.Name).Add(sp.Duration())
+	oc.st.total.Inc()
+	oc.st.lat.Add((p.Now() - oc.start).Duration())
 }
 
 // --- Write path (§4.5) -------------------------------------------------------
@@ -327,9 +362,9 @@ func (cl *Client) finishOp(p *sim.Proc, sp *metrics.Span, err error) {
 // chunk-map entries cached+dirty, and log the object in the dirty list; no
 // fingerprinting happens on this path.
 func (cl *Client) Write(p *sim.Proc, oid string, off int64, data []byte) error {
-	sp := cl.startOp(p, "dedup.write", len(data))
+	oc := cl.startOp(p, "dedup.write", &cl.opWrite, len(data))
 	err := cl.write(p, oid, off, data)
-	cl.finishOp(p, sp, err)
+	cl.finishOp(p, oc, err)
 	return err
 }
 
@@ -422,12 +457,12 @@ func (cl *Client) write(p *sim.Proc, oid string, off int64, data []byte) error {
 // chunks are proxied through the metadata primary to the chunk pool
 // (step 4b — the redirection whose cost Fig. 10/11 quantify).
 func (cl *Client) Read(p *sim.Proc, oid string, off, length int64) ([]byte, error) {
-	sp := cl.startOp(p, "dedup.read", 0)
+	oc := cl.startOp(p, "dedup.read", &cl.opRead, 0)
 	out, err := cl.read(p, oid, off, length)
-	if sp != nil {
-		sp.Bytes = int64(len(out))
+	if oc.sp != nil {
+		oc.sp.Bytes = int64(len(out))
 	}
-	cl.finishOp(p, sp, err)
+	cl.finishOp(p, oc, err)
 	return out, err
 }
 
@@ -520,9 +555,9 @@ func (cl *Client) Stat(p *sim.Proc, oid string) (int64, error) {
 
 // Delete removes the object, de-referencing every chunk it points to.
 func (cl *Client) Delete(p *sim.Proc, oid string) error {
-	sp := cl.startOp(p, "dedup.delete", 0)
+	oc := cl.startOp(p, "dedup.delete", &cl.opDelete, 0)
 	err := cl.delete(p, oid)
-	cl.finishOp(p, sp, err)
+	cl.finishOp(p, oc, err)
 	return err
 }
 

@@ -38,6 +38,19 @@ type OSD struct {
 type Map struct {
 	Epoch int
 	osds  map[int]*OSD
+
+	// pgCache memoizes MapPGClass results. Placement is a pure function of
+	// (map contents, pg, n, class) and every mutation bumps Epoch, so cached
+	// entries stay valid until the epoch moves; callers must treat returned
+	// slices as immutable.
+	cacheEpoch int
+	pgCache    map[pgCacheKey][]int
+}
+
+type pgCacheKey struct {
+	pg    PG
+	n     int
+	class string
 }
 
 // NewMap returns an empty cluster map at epoch 1.
@@ -201,7 +214,26 @@ func (m *Map) MapPG(pg PG, n int) []int { return m.MapPGClass(pg, n, "") }
 // and one OSD within each chosen host. Only in-OSDs of the class are
 // candidates; if there are fewer eligible hosts than n, remaining slots
 // fall back to distinct OSDs regardless of host.
+//
+// Results are memoized per epoch: the straw2 draws are pure, so repeated
+// resolutions of the same PG (every I/O resolves its placement) hit the
+// cache until a map mutation bumps the epoch. The returned slice is shared —
+// callers must not modify it.
 func (m *Map) MapPGClass(pg PG, n int, class string) []int {
+	if m.cacheEpoch != m.Epoch || m.pgCache == nil {
+		m.cacheEpoch = m.Epoch
+		m.pgCache = make(map[pgCacheKey][]int)
+	}
+	key := pgCacheKey{pg: pg, n: n, class: class}
+	if ids, ok := m.pgCache[key]; ok {
+		return ids
+	}
+	ids := m.mapPGClass(pg, n, class)
+	m.pgCache[key] = ids
+	return ids
+}
+
+func (m *Map) mapPGClass(pg PG, n int, class string) []int {
 	type hostInfo struct {
 		name   string
 		osds   []*OSD

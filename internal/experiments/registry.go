@@ -79,6 +79,7 @@ func Registry() []Experiment {
 		NewExperiment("ablation", AblationResult),
 		NewExperiment("qos", QoSResult),
 		NewExperiment("fpindex", FPIndexResult),
+		NewExperiment("scale", ScaleResult),
 	}
 }
 

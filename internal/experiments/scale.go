@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dedupstore/internal/metrics"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+)
+
+// The scale experiment sweeps the substrate from 16 to 256 OSDs with client
+// load held proportional to cluster size (one gateway per host, a fixed
+// per-client volume, PGs at 4 per OSD). A scale-out store should keep
+// per-client throughput and tail latency roughly flat while aggregate
+// throughput grows with the cluster; the sim-cost columns (events
+// dispatched, events per op, event-heap high-water mark) track what the
+// kernel pays to get there. Everything reported is derived from virtual
+// time and engine counters, so the table is deterministic and golden-gated;
+// wall-clock cost per configuration is measured outside the golden path
+// (`make profile`, BENCH_pr.json).
+
+// ScaleRow is one cluster size of the scaling sweep.
+type ScaleRow struct {
+	Hosts   int
+	OSDs    int
+	Clients int
+	PGs     int
+	Bytes   int64 // total bytes written (== read back)
+	Ops     int   // client write ops (reads add the same count again)
+
+	WriteMBps float64
+	WriteP50  time.Duration
+	WriteP99  time.Duration
+	ReadMBps  float64
+	ReadP50   time.Duration
+	ReadP99   time.Duration
+
+	Stats       sim.Stats // engine counters at end of run
+	EventsPerOp float64   // dispatched events per client op (setup included)
+}
+
+// scaleCase runs one cluster size: hosts×osdsPerHost OSDs, one client
+// gateway per host, each client writing perClient bytes of 32 KiB objects
+// into a 2x-replicated pool with 4 concurrent streams, then reading every
+// object back the same way.
+func scaleCase(sc Scale, hosts, osdsPerHost int) ScaleRow {
+	const (
+		opSize  = 32 << 10
+		streams = 4 // concurrent ops per client
+	)
+	h := sc.newHarness(801, hosts, osdsPerHost)
+	osds := hosts * osdsPerHost
+	clients := hosts
+	perClient := sc.bytes(24 << 20)
+	opsPerClient := int(perClient / opSize)
+	if opsPerClient < streams {
+		opsPerClient = streams
+	}
+	pgs := 4 * osds
+
+	pool, err := h.c.CreatePool(rados.PoolConfig{
+		Name: "pool.scale", PGNum: uint32(pgs), Redundancy: rados.ReplicatedN(2),
+	})
+	if err != nil {
+		panic(err)
+	}
+	gws := make([]*rados.Gateway, clients)
+	for i := range gws {
+		gws[i] = h.c.NewGateway(fmt.Sprintf("client.scale%d", i))
+	}
+
+	writeLat := metrics.NewHistogram()
+	readLat := metrics.NewHistogram()
+	data := make([]byte, opSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+
+	// runPhase fans each client's op range across `streams` workers and
+	// returns the virtual duration of the phase.
+	runPhase := func(lat *metrics.Histogram, op func(q *sim.Proc, gw *rados.Gateway, oid string)) time.Duration {
+		var elapsed time.Duration
+		h.run(func(p *sim.Proc) {
+			start := p.Now()
+			var sigs []*sim.Signal
+			for ci := 0; ci < clients; ci++ {
+				ci := ci
+				for s := 0; s < streams; s++ {
+					s := s
+					sigs = append(sigs, p.Go("scale.client", func(q *sim.Proc) {
+						for k := s; k < opsPerClient; k += streams {
+							oid := fmt.Sprintf("obj.%d.%d", ci, k)
+							t0 := q.Now()
+							op(q, gws[ci], oid)
+							lat.Add((q.Now() - t0).Duration())
+						}
+					}))
+				}
+			}
+			sim.WaitAll(p, sigs...)
+			elapsed = (p.Now() - start).Duration()
+		})
+		return elapsed
+	}
+
+	wrote := runPhase(writeLat, func(q *sim.Proc, gw *rados.Gateway, oid string) {
+		if err := gw.WriteFull(q, pool, oid, data); err != nil {
+			panic(err)
+		}
+	})
+	read := runPhase(readLat, func(q *sim.Proc, gw *rados.Gateway, oid string) {
+		if _, err := gw.Read(q, pool, oid, 0, opSize); err != nil {
+			panic(err)
+		}
+	})
+
+	totalOps := clients * opsPerClient
+	totalBytes := int64(totalOps) * opSize
+	st := h.eng.Stats()
+	row := ScaleRow{
+		Hosts: hosts, OSDs: osds, Clients: clients, PGs: pgs,
+		Bytes: totalBytes, Ops: totalOps,
+		WriteMBps: float64(totalBytes) / 1e6 / wrote.Seconds(),
+		WriteP50:  writeLat.Percentile(50),
+		WriteP99:  writeLat.Percentile(99),
+		ReadMBps:  float64(totalBytes) / 1e6 / read.Seconds(),
+		ReadP50:   readLat.Percentile(50),
+		ReadP99:   readLat.Percentile(99),
+		Stats:     st,
+	}
+	row.EventsPerOp = float64(st.EventsDispatched) / float64(2*totalOps)
+	return row
+}
+
+// ScaleSweep runs the 16 -> 64 -> 256 OSD sweep.
+func ScaleSweep(sc Scale) []ScaleRow {
+	return []ScaleRow{
+		scaleCase(sc, 4, 4),   // 16 OSDs
+		scaleCase(sc, 8, 8),   // 64 OSDs
+		scaleCase(sc, 16, 16), // 256 OSDs
+	}
+}
+
+// ScaleTable renders the sweep.
+func ScaleTable(rows []ScaleRow) Table {
+	t := Table{
+		Title: "Scaling sweep: 16 -> 256 OSDs, client load proportional to cluster size",
+		Columns: []string{
+			"osds", "hosts", "clients", "pgs", "data",
+			"write MB/s", "wr p50 ms", "wr p99 ms",
+			"read MB/s", "rd p50 ms", "rd p99 ms",
+			"events", "events/op", "peak heap",
+		},
+		Notes: []string{
+			"shape target: aggregate MB/s grows ~linearly with OSD count; p99 stays flat (per-OSD load is constant)",
+			"sim cost: events dispatched and heap high-water mark are the deterministic proxies for kernel wall-clock (see `make profile` for real time)",
+		},
+	}
+	ms := func(d time.Duration) string { return f2(float64(d) / float64(time.Millisecond)) }
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.OSDs), fmt.Sprint(r.Hosts), fmt.Sprint(r.Clients), fmt.Sprint(r.PGs), mb(r.Bytes),
+			f1(r.WriteMBps), ms(r.WriteP50), ms(r.WriteP99),
+			f1(r.ReadMBps), ms(r.ReadP50), ms(r.ReadP99),
+			fmt.Sprint(r.Stats.EventsDispatched), f1(r.EventsPerOp), fmt.Sprint(r.Stats.PeakHeap),
+		})
+	}
+	return t
+}
+
+// ScaleResult runs the sweep and packages it as a machine-readable Result.
+func ScaleResult(sc Scale) Result {
+	return Result{Name: "scale", Tables: []Table{ScaleTable(ScaleSweep(sc))}}
+}

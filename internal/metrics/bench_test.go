@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"dedupstore/internal/sim"
+)
+
+// The hot-path contract: resolve the metric handle once, then every
+// observation is an atomic op. The *ByName variants measure the old pattern
+// (registry lookup per observation) for comparison.
+
+func BenchmarkCounterHandle(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterByName(b *testing.B) {
+	r := NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Counter("ops_total").Inc()
+	}
+}
+
+func BenchmarkHistogramHandle(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("op_latency")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramByName(b *testing.B) {
+	r := NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Histogram("op_latency").Add(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+// BenchmarkSpanStartFinish measures a full span lifecycle on the pooled
+// sink: start, one virtual-time sleep, finish (ring insert + recycle).
+func BenchmarkSpanStartFinish(b *testing.B) {
+	e := sim.New(1)
+	sink := NewTraceSink(256)
+	e.Go("spans", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			sp := sink.Start(p, "bench.op")
+			p.Sleep(time.Microsecond)
+			sp.Finish(p)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkSpanSampled is the same lifecycle with 1-in-64 sampling: most
+// iterations pay only the counter bump and a nil check.
+func BenchmarkSpanSampled(b *testing.B) {
+	e := sim.New(1)
+	sink := NewTraceSink(256)
+	sink.SetSample(64)
+	e.Go("spans", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			sp := sink.Start(p, "bench.op")
+			p.Sleep(time.Microsecond)
+			if sp != nil {
+				sp.Finish(p)
+			}
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

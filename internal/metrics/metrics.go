@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"dedupstore/internal/sim"
@@ -22,14 +22,20 @@ import (
 // power-of-two range is split into 64 linear sub-buckets (HDR-histogram
 // style), bounding the relative error of any reported quantile to under 0.8%
 // while keeping memory constant. Count, Sum (hence Mean), Min and Max are
-// tracked exactly. Histogram is safe for concurrent use.
+// tracked exactly.
+//
+// Histogram is safe for concurrent use and lock-free: buckets live in
+// CAS-installed fixed-size chunks of atomic counters, so the observation hot
+// path is a handful of atomic adds with no mutex and no allocation once a
+// chunk exists. Readers iterate the same atomics; under concurrent writes a
+// snapshot may be off by in-flight samples, which is irrelevant for the
+// single-threaded DES engines that feed it.
 type Histogram struct {
-	mu      sync.Mutex
-	count   int64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
-	buckets []int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; math.MaxInt64 until the first sample
+	max    atomic.Int64 // nanoseconds
+	chunks [histChunks]atomic.Pointer[histChunk]
 }
 
 // Sub-bucket geometry: values below subCount get an exact bucket each;
@@ -39,6 +45,19 @@ const (
 	subLog   = 6
 	subCount = 1 << subLog
 )
+
+// Chunked bucket storage: bucket indexes top out at
+// (62-subLog)*subCount + 2*subCount - 1 = 3711 for any int64 sample, so 58
+// chunks of 64 counters cover the full range; chunks allocate lazily on
+// first touch.
+const (
+	histChunkLog = 6
+	histChunkLen = 1 << histChunkLog
+	histMaxIdx   = (62-subLog)*subCount + 2*subCount - 1
+	histChunks   = histMaxIdx/histChunkLen + 1
+)
+
+type histChunk [histChunkLen]atomic.Int64
 
 // bucketIdx maps a non-negative sample (in ns) to its bucket index. The
 // mapping is continuous: idx 0..63 are exact 1ns buckets, each subsequent
@@ -78,55 +97,77 @@ func bucketUpper(idx int) int64 {
 }
 
 // NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
 
 // Add records one latency sample. Negative samples clamp to zero.
 func (h *Histogram) Add(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	idx := bucketIdx(int64(d))
-	if idx >= len(h.buckets) {
-		grown := make([]int64, idx+1)
-		copy(grown, h.buckets)
-		h.buckets = grown
+	v := int64(d)
+	idx := bucketIdx(v)
+	ci := idx >> histChunkLog
+	chunk := h.chunks[ci].Load()
+	if chunk == nil {
+		chunk = new(histChunk)
+		if !h.chunks[ci].CompareAndSwap(nil, chunk) {
+			chunk = h.chunks[ci].Load()
+		}
 	}
-	h.buckets[idx]++
-	h.count++
-	h.sum += d
-	if h.count == 1 || d < h.min {
-		h.min = d
+	chunk[idx&(histChunkLen-1)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
 	}
-	if d > h.max {
-		h.max = d
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// eachBucket walks the non-empty buckets in ascending index order, stopping
+// early if fn returns false.
+func (h *Histogram) eachBucket(fn func(idx int, count int64) bool) {
+	for ci := range h.chunks {
+		chunk := h.chunks[ci].Load()
+		if chunk == nil {
+			continue
+		}
+		base := ci << histChunkLog
+		for i := range chunk {
+			if c := chunk[i].Load(); c > 0 {
+				if !fn(base+i, c) {
+					return
+				}
+			}
+		}
 	}
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return int(h.count)
-}
+func (h *Histogram) Count() int { return int(h.count.Load()) }
 
 // Sum returns the exact sum of all samples.
-func (h *Histogram) Sum() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
-}
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 
 // Mean returns the average latency (exact: tracked as sum/count, not from
 // buckets).
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.count)
+	return time.Duration(h.sum.Load() / n)
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using ceil-based
@@ -134,48 +175,48 @@ func (h *Histogram) Mean() time.Duration {
 // the bucket's representative value, within 0.8% of the true sample, clamped
 // to the exact observed [min, max].
 func (h *Histogram) Percentile(p float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	rank := int64(math.Ceil(p / 100 * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > h.count {
-		rank = h.count
+	if rank > n {
+		rank = n
 	}
+	lo, hi := h.Min(), h.Max()
 	var cum int64
-	for idx, c := range h.buckets {
+	out := hi
+	h.eachBucket(func(idx int, c int64) bool {
 		cum += c
 		if cum >= rank {
 			v := time.Duration(bucketMid(idx))
-			if v < h.min {
-				v = h.min
+			if v < lo {
+				v = lo
 			}
-			if v > h.max {
-				v = h.max
+			if v > hi {
+				v = hi
 			}
-			return v
+			out = v
+			return false
 		}
-	}
-	return h.max
+		return true
+	})
+	return out
 }
 
 // Min returns the smallest sample (0 when empty).
 func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.min
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
 }
 
 // Max returns the largest sample.
-func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 
 // Bucket is one non-empty histogram bucket: Count samples at most Le.
 type Bucket struct {
@@ -185,14 +226,11 @@ type Bucket struct {
 
 // Buckets returns the non-empty buckets in ascending order.
 func (h *Histogram) Buckets() []Bucket {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	out := make([]Bucket, 0, 16)
-	for idx, c := range h.buckets {
-		if c > 0 {
-			out = append(out, Bucket{Le: time.Duration(bucketUpper(idx) - 1), Count: c})
-		}
-	}
+	h.eachBucket(func(idx int, c int64) bool {
+		out = append(out, Bucket{Le: time.Duration(bucketUpper(idx) - 1), Count: c})
+		return true
+	})
 	return out
 }
 

@@ -108,7 +108,9 @@ func (sp *Span) SetClass(class string) *Span {
 
 // Finish closes the span at the process's current virtual time, restores the
 // parent tracer, and records the span in the sink. Must be called on the
-// same process that Started it. Nil-safe.
+// same process that Started it. Nil-safe. Finish returns the span to the
+// sink's pool: the caller must not touch the span afterwards — capture
+// Name/Duration/fields before finishing if they are needed.
 func (sp *Span) Finish(p *sim.Proc) {
 	if sp == nil {
 		return
@@ -168,6 +170,12 @@ func (sp *Span) String() string {
 // recorded, so post-run analysis sees both the tail and the recent shape
 // without unbounded memory. Safe for concurrent use and on a nil receiver
 // (tracing disabled: Start returns nil and all Span methods no-op).
+//
+// Spans are pooled: Finish recycles the span object and the ring reuses its
+// slots' resource slices, so steady-state tracing is allocation-free. With
+// SetSample(n) the sink keeps only every n-th span (deterministic counter,
+// not random): Start returns nil for the skipped ones, and since every Span
+// method is nil-safe, unsampled operations pay almost nothing.
 type TraceSink struct {
 	mu      sync.Mutex
 	ring    []Span
@@ -176,33 +184,90 @@ type TraceSink struct {
 	nextID  uint64
 	slowCap int
 	slow    []Span // sorted ascending by duration
+	sample  int64  // keep 1 of every sample spans (1 = all)
+	seen    int64  // spans considered by Start, sampled or not
+	pool    []*Span
 }
 
 // DefaultSlowest is the leaderboard size kept by NewTraceSink.
 const DefaultSlowest = 64
 
+// spanPoolCap bounds the sink's free list of recycled spans.
+const spanPoolCap = 1024
+
 // NewTraceSink returns a sink retaining the ringCap most recent spans
-// (minimum 16) and the DefaultSlowest slowest.
+// (minimum 16) and the DefaultSlowest slowest, sampling every span.
 func NewTraceSink(ringCap int) *TraceSink {
 	if ringCap < 16 {
 		ringCap = 16
 	}
-	return &TraceSink{ring: make([]Span, 0, ringCap), slowCap: DefaultSlowest}
+	return &TraceSink{ring: make([]Span, 0, ringCap), slowCap: DefaultSlowest, sample: 1}
+}
+
+// SetSample makes the sink keep one of every n spans (n <= 1 keeps all).
+// Sampling is a deterministic modulo of the span-start counter, so for a
+// fixed program the same spans are kept on every run.
+func (t *TraceSink) SetSample(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.sample = int64(n)
+	t.mu.Unlock()
+}
+
+// Sample returns the sink's sampling interval (1 = every span is kept).
+func (t *TraceSink) Sample() int {
+	if t == nil {
+		return 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.sample)
+}
+
+// Seen reports how many span starts the sink has considered, including ones
+// dropped by sampling.
+func (t *TraceSink) Seen() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seen
 }
 
 // Start opens a span named name at the process's current virtual time and
 // installs it as the process tracer. If the process is already inside a
 // span, the new span records it as parent. Returns nil (a no-op span) on a
-// nil sink.
+// nil sink or when sampling drops the span.
 func (t *TraceSink) Start(p *sim.Proc, name string) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
+	t.seen++
+	if t.sample > 1 && (t.seen-1)%t.sample != 0 {
+		t.mu.Unlock()
+		return nil
+	}
 	t.nextID++
 	id := t.nextID
+	var sp *Span
+	if n := len(t.pool); n > 0 {
+		sp = t.pool[n-1]
+		t.pool[n-1] = nil
+		t.pool = t.pool[:n-1]
+	}
 	t.mu.Unlock()
-	sp := &Span{ID: id, Name: name, Start: p.Now(), sink: t}
+	if sp == nil {
+		sp = &Span{}
+	}
+	res := sp.Resources[:0]
+	*sp = Span{ID: id, Name: name, Start: p.Now(), sink: t, Resources: res}
 	if parent, ok := p.Tracer().(*Span); ok && parent != nil {
 		sp.Parent = parent.ID
 	}
@@ -214,28 +279,42 @@ func (t *TraceSink) record(sp *Span) {
 	if t == nil {
 		return
 	}
-	rec := *sp
-	rec.Resources = append([]ResourceSpan(nil), sp.Resources...)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.total++
+	// Ring insert, reusing the evicted slot's resource slice so steady-state
+	// recording allocates nothing.
+	var slot *Span
 	if len(t.ring) < cap(t.ring) {
-		t.ring = append(t.ring, rec)
+		t.ring = append(t.ring, Span{})
+		slot = &t.ring[len(t.ring)-1]
 	} else {
-		t.ring[t.pos] = rec
+		slot = &t.ring[t.pos]
 		t.pos = (t.pos + 1) % len(t.ring)
 	}
-	// Leaderboard insert (ascending by duration, bounded).
-	d := rec.Duration()
-	if len(t.slow) == t.slowCap && d <= t.slow[0].Duration() {
-		return
+	res := slot.Resources
+	*slot = *sp
+	slot.Resources = append(res[:0], sp.Resources...)
+	slot.sink, slot.prev = nil, nil
+	// Leaderboard insert (ascending by duration, bounded). Entries own their
+	// resource slices: the ring slot aliased above gets rewritten on eviction.
+	d := sp.Duration()
+	if !(len(t.slow) == t.slowCap && d <= t.slow[0].Duration()) {
+		rec := *sp
+		rec.Resources = append([]ResourceSpan(nil), sp.Resources...)
+		rec.sink, rec.prev = nil, nil
+		i := sort.Search(len(t.slow), func(i int) bool { return t.slow[i].Duration() >= d })
+		t.slow = append(t.slow, Span{})
+		copy(t.slow[i+1:], t.slow[i:])
+		t.slow[i] = rec
+		if len(t.slow) > t.slowCap {
+			t.slow = t.slow[1:]
+		}
 	}
-	i := sort.Search(len(t.slow), func(i int) bool { return t.slow[i].Duration() >= d })
-	t.slow = append(t.slow, Span{})
-	copy(t.slow[i+1:], t.slow[i:])
-	t.slow[i] = rec
-	if len(t.slow) > t.slowCap {
-		t.slow = t.slow[1:]
+	// Recycle the finished span for a later Start.
+	if len(t.pool) < spanPoolCap {
+		sp.sink, sp.prev = nil, nil
+		t.pool = append(t.pool, sp)
 	}
 }
 
@@ -262,7 +341,11 @@ func (t *TraceSink) Recent(n int) []Span {
 	}
 	out := make([]Span, 0, n)
 	for i := size - n; i < size; i++ {
-		out = append(out, t.ring[(t.pos+i)%size])
+		rec := t.ring[(t.pos+i)%size]
+		// Ring slots recycle their resource slices; returned spans must own
+		// theirs.
+		rec.Resources = append([]ResourceSpan(nil), rec.Resources...)
+		out = append(out, rec)
 	}
 	return out
 }

@@ -167,7 +167,25 @@ type Cluster struct {
 	poolsByID map[uint64]*Pool
 	nextPool  uint64
 
-	pgLocks map[string]*sim.Resource
+	pgLocks map[crush.PG]*sim.Resource
+
+	// Per-epoch placement caches: resolving a PG's OSD set happens on every
+	// I/O, so acting/want memoize their []*osd results until a CRUSH map
+	// mutation bumps the epoch. The cached slices are shared — read-only.
+	pgResEpoch  int
+	actCache    map[crush.PG][]*osd
+	wantCache   map[crush.PG][]*osd
+	osdSeq      []*osd // allOSDs() cache, id order
+	osdSeqEpoch int
+
+	// dirty is set — permanently — the first time anything happens that
+	// could strand a stale or stray object copy: an OSD crash, a device
+	// replacement, or a CRUSH epoch change after data exists (reconBase is
+	// the epoch observed at the first mutation). While the cluster is clean,
+	// per-mutation missed-write reconciliation provably has nothing to do
+	// and the write path skips its cluster-wide scan.
+	dirty     bool
+	reconBase int
 
 	storeOpts []store.Option
 
@@ -200,6 +218,16 @@ type Cluster struct {
 	// qwait pre-resolves the per-class queue-wait histograms so the
 	// admission hot path avoids a registry lookup per I/O.
 	qwait [qos.NumClasses]*metrics.Histogram
+	// ops pre-resolves the per-kind gateway op handles (count, latency,
+	// errors) the same way: resolve the metric name once at construction,
+	// then each op completion is a few atomic ops with no map lookups.
+	ops struct {
+		write, writeFull, del, read, mutate opStats
+	}
+	// fpLookupLat/fpMismatch are the fingerprint-probe handles, resolved
+	// when EnableFPIndex arms the index.
+	fpLookupLat *metrics.Histogram
+	fpMismatch  *metrics.Counter
 
 	// fpPool is the id of the pool fronted by per-OSD fingerprint indexes
 	// (0 = disabled); fpCfg is the index configuration shared by all OSDs.
@@ -227,7 +255,7 @@ func New(eng *sim.Engine, cost simcost.Params, opts ...Option) *Cluster {
 		osds:       make(map[int]*osd),
 		pools:      make(map[string]*Pool),
 		poolsByID:  make(map[uint64]*Pool),
-		pgLocks:    make(map[string]*sim.Resource),
+		pgLocks:    make(map[crush.PG]*sim.Resource),
 		reqTimeout: 2 * time.Millisecond,
 		nicSlow:    make(map[string]float64),
 		missed:     make(map[int]map[store.Key]bool),
@@ -248,6 +276,11 @@ func New(eng *sim.Engine, cost simcost.Params, opts ...Option) *Cluster {
 			c.qwait[cls].Add(wait)
 		}
 	}
+	c.ops.write = newOpStats(c.reg, "rados.write")
+	c.ops.writeFull = newOpStats(c.reg, "rados.writefull")
+	c.ops.del = newOpStats(c.reg, "rados.delete")
+	c.ops.read = newOpStats(c.reg, "rados.read")
+	c.ops.mutate = newOpStats(c.reg, "rados.mutate")
 	return c
 }
 
@@ -381,8 +414,25 @@ func (c *Cluster) PGOf(p *Pool, oid string) crush.PG {
 	return crush.PGForObject(p.ID, p.PGNum, oid)
 }
 
-// acting returns the up OSDs for a PG in placement order.
+// pgResCheck invalidates the placement caches when the CRUSH epoch moved.
+// A PG fully determines its pool (PG.Pool is the pool id), so caching by PG
+// alone is sound: every resolution of the same PG uses the same width and
+// device class.
+func (c *Cluster) pgResCheck() {
+	if c.pgResEpoch != c.cmap.Epoch || c.actCache == nil {
+		c.pgResEpoch = c.cmap.Epoch
+		c.actCache = make(map[crush.PG][]*osd)
+		c.wantCache = make(map[crush.PG][]*osd)
+	}
+}
+
+// acting returns the up OSDs for a PG in placement order. The slice is
+// cached per epoch and shared — callers must not modify it.
 func (c *Cluster) acting(p *Pool, pg crush.PG) []*osd {
+	c.pgResCheck()
+	if out, ok := c.actCache[pg]; ok {
+		return out
+	}
 	ids := c.cmap.ActingSetClass(pg, p.Red.Width(), p.Class)
 	out := make([]*osd, 0, len(ids))
 	for _, id := range ids {
@@ -390,11 +440,17 @@ func (c *Cluster) acting(p *Pool, pg crush.PG) []*osd {
 			out = append(out, o)
 		}
 	}
+	c.actCache[pg] = out
 	return out
 }
 
 // want returns the full target OSD set for a PG (including down members).
+// The slice is cached per epoch and shared — callers must not modify it.
 func (c *Cluster) want(p *Pool, pg crush.PG) []*osd {
+	c.pgResCheck()
+	if out, ok := c.wantCache[pg]; ok {
+		return out
+	}
 	ids := c.cmap.MapPGClass(pg, p.Red.Width(), p.Class)
 	out := make([]*osd, 0, len(ids))
 	for _, id := range ids {
@@ -402,15 +458,15 @@ func (c *Cluster) want(p *Pool, pg crush.PG) []*osd {
 			out = append(out, o)
 		}
 	}
+	c.wantCache[pg] = out
 	return out
 }
 
 func (c *Cluster) pgLock(pg crush.PG) *sim.Resource {
-	key := pg.String()
-	l, ok := c.pgLocks[key]
+	l, ok := c.pgLocks[pg]
 	if !ok {
-		l = sim.NewResource("pg."+key, 1)
-		c.pgLocks[key] = l
+		l = sim.NewResource("pg."+pg.String(), 1)
+		c.pgLocks[pg] = l
 	}
 	return l
 }
@@ -557,6 +613,7 @@ func (c *Cluster) CrashOSD(id int) error {
 		return fmt.Errorf("rados: unknown osd %d", id)
 	}
 	o.alive = false
+	c.dirty = true // from here on a stale or stray copy may exist somewhere
 	if o.fpidx != nil {
 		o.fpidx.Crash() // memtable and block cache are RAM; WAL+tables survive
 	}
@@ -645,12 +702,11 @@ func (c *Cluster) HostOSDs(hostName string) []int {
 // key, excluding skip — the shared "who can still serve this object" scan
 // behind degraded reads, on-demand pulls and xattr peeks.
 func (c *Cluster) liveInMapHolder(key store.Key, skip *osd) *osd {
-	for _, id := range c.cmap.OSDs() {
-		o := c.osds[id]
-		if o == nil || o == skip || !o.alive || !o.store.Exists(key) {
+	for _, o := range c.allOSDs() {
+		if o == skip || !o.alive || !o.store.Exists(key) {
 			continue
 		}
-		if info, ok := c.cmap.Lookup(id); !ok || !info.Up || !info.In {
+		if info, ok := c.cmap.Lookup(o.id); !ok || !info.Up || !info.In {
 			continue
 		}
 		return o
@@ -671,15 +727,20 @@ func (c *Cluster) recoverableOnDead(key store.Key, cands []*osd) bool {
 	return false
 }
 
-// allOSDs returns every OSD in id order.
+// allOSDs returns every OSD in id order. The slice is cached per CRUSH
+// epoch and shared — callers must not modify it.
 func (c *Cluster) allOSDs() []*osd {
-	out := make([]*osd, 0, len(c.osds))
-	for _, id := range c.cmap.OSDs() {
-		if o := c.osds[id]; o != nil {
-			out = append(out, o)
+	if c.osdSeqEpoch != c.cmap.Epoch || c.osdSeq == nil {
+		out := make([]*osd, 0, len(c.osds))
+		for _, id := range c.cmap.OSDs() {
+			if o := c.osds[id]; o != nil {
+				out = append(out, o)
+			}
 		}
+		c.osdSeq = out
+		c.osdSeqEpoch = c.cmap.Epoch
 	}
-	return out
+	return c.osdSeq
 }
 
 // noteMissed records that OSD id did not apply the mutation of key, so its
@@ -693,20 +754,41 @@ func (c *Cluster) noteMissed(id int, key store.Key) {
 	m[key] = true
 }
 
+// reconcileNeeded reports whether missed-write reconciliation could have
+// any work to do. While the cluster is clean — no OSD ever crashed or was
+// replaced, and the CRUSH epoch never moved since the first mutation — no
+// stale or stray copy can exist anywhere, so the write path skips both the
+// cluster-wide scan and the applied-set bookkeeping feeding it. The first
+// perturbation flips dirty permanently.
+func (c *Cluster) reconcileNeeded() bool {
+	if !c.dirty {
+		if c.reconBase == 0 {
+			c.reconBase = c.cmap.Epoch
+		}
+		if c.cmap.Epoch != c.reconBase {
+			c.dirty = true
+		}
+	}
+	return c.dirty || len(c.missed) > 0
+}
+
 // reconcileMissed runs after a mutation of key was applied to the OSDs in
 // applied: every dead OSD gets the miss recorded (so its copy is wiped on
 // restart), and any live copy outside the applied set — a stray left behind
 // by remapping — is deleted immediately so a degraded-read fallback can
 // never observe a stale version. This compresses Ceph's pg-log-driven
-// peering and stray cleanup into the write path.
+// peering and stray cleanup into the write path. On a clean cluster (see
+// reconcileNeeded) the scan short-circuits.
 func (c *Cluster) reconcileMissed(key store.Key, applied map[int]bool) {
-	for _, id := range c.cmap.OSDs() {
-		o := c.osds[id]
-		if o == nil || applied[id] {
+	if !c.reconcileNeeded() {
+		return
+	}
+	for _, o := range c.allOSDs() {
+		if applied[o.id] {
 			continue
 		}
 		if !o.alive {
-			c.noteMissed(id, key)
+			c.noteMissed(o.id, key)
 			continue
 		}
 		if o.store.Exists(key) {

@@ -39,6 +39,8 @@ func (c *Cluster) EnableFPIndex(pool *Pool, cfg fpindex.Config) error {
 	cfg.Enabled = true
 	c.fpPool = pool.ID
 	c.fpCfg = cfg
+	c.fpLookupLat = c.reg.Histogram("fpindex_lookup_latency")
+	c.fpMismatch = c.reg.Counter("fpindex_lookup_mismatch_total")
 	for _, o := range c.allOSDs() {
 		c.attachFPIndex(o)
 	}
@@ -82,13 +84,16 @@ func (g *Gateway) fpProbe(p *sim.Proc, pool *Pool, oid string, o *osd) {
 	if c.fpPool == 0 || pool.ID != c.fpPool || o.fpidx == nil {
 		return
 	}
+	start := p.Now()
 	sp := c.sink.Start(p, "fpindex.lookup")
-	sp.SetOp(pool.Name, c.PGOf(pool, oid).String(), 0).SetClass(qos.Dedup.String())
+	if sp != nil {
+		sp.SetOp(pool.Name, c.PGOf(pool, oid).String(), 0).SetClass(qos.Dedup.String())
+	}
 	found := o.fpidx.Lookup(p, oid)
 	sp.Finish(p)
-	c.reg.Histogram("fpindex_lookup_latency").Add(sp.Duration())
+	c.fpLookupLat.Add((p.Now() - start).Duration())
 	if found != o.store.Exists(store.Key{Pool: pool.ID, OID: oid}) {
-		c.reg.Counter("fpindex_lookup_mismatch_total").Inc()
+		c.fpMismatch.Inc()
 	}
 }
 
@@ -125,14 +130,17 @@ func (c *Cluster) FPLookup(p *sim.Proc, oid string) (bool, error) {
 	if !o.alive || o.fpidx == nil {
 		return false, ErrOSDDown
 	}
+	start := p.Now()
 	sp := c.sink.Start(p, "fpindex.lookup")
-	sp.SetOp(pool.Name, c.PGOf(pool, oid).String(), 0).SetClass(qos.Dedup.String())
+	if sp != nil {
+		sp.SetOp(pool.Name, c.PGOf(pool, oid).String(), 0).SetClass(qos.Dedup.String())
+	}
 	p.Sleep(c.cost.NetLatency)
 	o.host.cpu.Use(p, c.cost.OpOverhead)
 	found := o.fpidx.Lookup(p, oid)
 	p.Sleep(c.cost.NetLatency)
 	sp.Finish(p)
-	c.reg.Histogram("fpindex_lookup_latency").Add(sp.Duration())
+	c.fpLookupLat.Add((p.Now() - start).Duration())
 	return found, nil
 }
 

@@ -68,26 +68,55 @@ func (g *Gateway) noteOp(bytes int) {
 	}
 }
 
-// startOp opens a trace span for a gateway operation, tagged with pool, PG
-// and payload size. Tracing observes only — it adds no virtual time.
-func (g *Gateway) startOp(p *sim.Proc, kind string, pool *Pool, oid string, bytes int) *metrics.Span {
-	sp := g.c.sink.Start(p, kind)
-	return sp.SetOp(pool.Name, g.c.PGOf(pool, oid).String(), int64(bytes)).SetClass(g.cls.String())
+// opStats caches one op kind's registry handles, resolved once at cluster
+// construction so the per-op completion path performs no string-keyed map
+// lookups.
+type opStats struct {
+	total *metrics.Counter
+	lat   *metrics.Histogram
+	errs  *metrics.Counter
 }
 
-// finishOp closes the span and records the op's latency and outcome in the
-// cluster registry.
-func (g *Gateway) finishOp(p *sim.Proc, sp *metrics.Span, err error) {
-	if sp == nil {
-		return
+func newOpStats(reg *metrics.Registry, kind string) opStats {
+	return opStats{
+		total: reg.Counter("rados_op_total:" + kind),
+		lat:   reg.Histogram("rados_op_latency:" + kind),
+		errs:  reg.Counter("rados_op_errors_total:" + kind),
 	}
-	sp.Err = err != nil
-	sp.Finish(p)
-	reg := g.c.reg
-	reg.Counter("rados_op_total:" + sp.Name).Inc()
-	reg.Histogram("rados_op_latency:" + sp.Name).Add(sp.Duration())
+}
+
+// opCtx carries one in-flight gateway op: its trace span (nil when trace
+// sampling dropped it), the kind's pre-resolved stat handles, and the start
+// time. Latency is measured from the op's own clock, so the registry stays
+// exact even for ops whose span was not sampled.
+type opCtx struct {
+	sp    *metrics.Span
+	st    *opStats
+	start sim.Time
+}
+
+// startOp opens a trace span for a gateway operation, tagged with pool, PG
+// and payload size. Tracing observes only — it adds no virtual time.
+func (g *Gateway) startOp(p *sim.Proc, kind string, st *opStats, pool *Pool, oid string, bytes int) opCtx {
+	sp := g.c.sink.Start(p, kind)
+	if sp != nil {
+		sp.SetOp(pool.Name, g.c.PGOf(pool, oid).String(), int64(bytes)).SetClass(g.cls.String())
+	}
+	return opCtx{sp: sp, st: st, start: p.Now()}
+}
+
+// finishOp closes the span (which recycles it — the span must not be used
+// afterwards) and records the op's latency and outcome in the cluster
+// registry.
+func (g *Gateway) finishOp(p *sim.Proc, oc opCtx, err error) {
+	if oc.sp != nil {
+		oc.sp.Err = err != nil
+		oc.sp.Finish(p)
+	}
+	oc.st.total.Inc()
+	oc.st.lat.Add((p.Now() - oc.start).Duration())
 	if err != nil {
-		reg.Counter("rados_op_errors_total:" + sp.Name).Inc()
+		oc.st.errs.Inc()
 	}
 }
 
@@ -137,7 +166,7 @@ func (v replView) OmapList(max int) ([]string, error)     { return v.st.OmapList
 // Write writes data at offset off (replicated pools write in place; EC
 // pools perform a read-modify-write of the full object).
 func (g *Gateway) Write(p *sim.Proc, pool *Pool, oid string, off int64, data []byte) error {
-	sp := g.startOp(p, "rados.write", pool, oid, len(data))
+	oc := g.startOp(p, "rados.write", &g.c.ops.write, pool, oid, len(data))
 	var err error
 	if pool.Red.Kind == Erasure {
 		err = g.ecWrite(p, pool, oid, off, data)
@@ -146,13 +175,13 @@ func (g *Gateway) Write(p *sim.Proc, pool *Pool, oid string, off int64, data []b
 		err = g.applyTxn(p, pool, oid, txn, len(data))
 		g.noteOp(len(data))
 	}
-	g.finishOp(p, sp, err)
+	g.finishOp(p, oc, err)
 	return err
 }
 
 // WriteFull replaces the object's contents.
 func (g *Gateway) WriteFull(p *sim.Proc, pool *Pool, oid string, data []byte) error {
-	sp := g.startOp(p, "rados.writefull", pool, oid, len(data))
+	oc := g.startOp(p, "rados.writefull", &g.c.ops.writeFull, pool, oid, len(data))
 	var err error
 	if pool.Red.Kind == Erasure {
 		err = g.ecWriteFull(p, pool, oid, data)
@@ -161,13 +190,13 @@ func (g *Gateway) WriteFull(p *sim.Proc, pool *Pool, oid string, data []byte) er
 		err = g.applyTxn(p, pool, oid, txn, len(data))
 		g.noteOp(len(data))
 	}
-	g.finishOp(p, sp, err)
+	g.finishOp(p, oc, err)
 	return err
 }
 
 // Delete removes the object.
 func (g *Gateway) Delete(p *sim.Proc, pool *Pool, oid string) error {
-	sp := g.startOp(p, "rados.delete", pool, oid, 0)
+	oc := g.startOp(p, "rados.delete", &g.c.ops.del, pool, oid, 0)
 	var err error
 	if pool.Red.Kind == Erasure {
 		err = g.ecDelete(p, pool, oid)
@@ -175,19 +204,19 @@ func (g *Gateway) Delete(p *sim.Proc, pool *Pool, oid string) error {
 		err = g.applyTxn(p, pool, oid, store.NewTxn().Delete(), 0)
 		g.noteOp(0)
 	}
-	g.finishOp(p, sp, err)
+	g.finishOp(p, oc, err)
 	return err
 }
 
 // Read returns length bytes at off (length<0 reads to end). Reads are
 // served by the acting primary.
 func (g *Gateway) Read(p *sim.Proc, pool *Pool, oid string, off, length int64) ([]byte, error) {
-	sp := g.startOp(p, "rados.read", pool, oid, 0)
+	oc := g.startOp(p, "rados.read", &g.c.ops.read, pool, oid, 0)
 	data, err := g.read(p, pool, oid, off, length)
-	if sp != nil {
-		sp.Bytes = int64(len(data))
+	if oc.sp != nil {
+		oc.sp.Bytes = int64(len(data))
 	}
-	g.finishOp(p, sp, err)
+	g.finishOp(p, oc, err)
 	return data, err
 }
 
@@ -371,9 +400,9 @@ func (g *Gateway) Mutate(p *sim.Proc, pool *Pool, oid string, fn MutateFn) error
 // the payload is charged on the caller's outbound link and the primary's
 // inbound link. Replicas always receive the full resulting transaction.
 func (g *Gateway) MutateWithPayload(p *sim.Proc, pool *Pool, oid string, payload int, fn MutateFn) error {
-	sp := g.startOp(p, "rados.mutate", pool, oid, payload)
+	oc := g.startOp(p, "rados.mutate", &g.c.ops.mutate, pool, oid, payload)
 	err := g.mutateWithPayload(p, pool, oid, payload, fn)
-	g.finishOp(p, sp, err)
+	g.finishOp(p, oc, err)
 	return err
 }
 
@@ -513,9 +542,19 @@ type fanout struct {
 // latency back to the client. Every fanned-out mutation goes through here,
 // so the QoS-classed submit path of replica/shard work changes in one place.
 func (g *Gateway) runFanout(p *sim.Proc, f fanout) {
-	applied := make(map[int]bool, len(f.targets)+len(f.preApplied))
-	for _, o := range f.preApplied {
-		applied[o.id] = true
+	// On a clean cluster (no crash/replace ever, CRUSH epoch unmoved) the
+	// reconciliation scan provably has no work, so the applied-set map is
+	// not even built. The decision is made here, before any child runs:
+	// spawning is instantaneous in virtual time, so every target passing ok
+	// below applies the mutation even if it crashes mid-fan-out, and a
+	// cluster that is clean at this instant holds no stray copy of f.key.
+	reconcile := g.c.reconcileNeeded()
+	var applied map[int]bool
+	if reconcile {
+		applied = make(map[int]bool, len(f.targets)+len(f.preApplied))
+		for _, o := range f.preApplied {
+			applied[o.id] = true
+		}
 	}
 	skipped := false
 	sigs := make([]*sim.Signal, 0, len(f.targets)+len(f.extra))
@@ -525,14 +564,17 @@ func (g *Gateway) runFanout(p *sim.Proc, f fanout) {
 			skipped = true
 			continue
 		}
-		applied[o.id] = true
+		if reconcile {
+			applied[o.id] = true
+		}
 		i, o := i, o
 		sigs = append(sigs, p.Go(f.name, func(q *sim.Proc) {
 			if f.span != "" {
-				sp := g.c.sink.Start(q, f.span).
-					SetOp(f.pool.Name, f.pg.String(), int64(f.bytes)).
-					SetClass(g.cls.String())
-				defer sp.Finish(q)
+				if sp := g.c.sink.Start(q, f.span); sp != nil {
+					sp.SetOp(f.pool.Name, f.pg.String(), int64(f.bytes)).
+						SetClass(g.cls.String())
+					defer sp.Finish(q)
+				}
 			}
 			f.do(q, i, o)
 		}))
@@ -541,7 +583,9 @@ func (g *Gateway) runFanout(p *sim.Proc, f fanout) {
 	if skipped && f.degraded {
 		g.c.reg.Counter("rados_degraded_writes_total").Inc()
 	}
-	g.c.reconcileMissed(f.key, applied)
+	if reconcile {
+		g.c.reconcileMissed(f.key, applied)
+	}
 	p.Sleep(g.c.cost.NetLatency) // ack to client
 }
 
@@ -575,9 +619,10 @@ func (g *Gateway) replicate(p *sim.Proc, pool *Pool, oid string, txn *store.Txn,
 	// (created → WAL insert, removed → tombstone), charged to this op.
 	g.c.fpNote(p, primary, key, existedBefore, primary.store.Exists(key))
 	journal := p.Go("journal", func(q *sim.Proc) {
-		jsp := g.c.sink.Start(q, "rados.journal").
-			SetOp(pool.Name, pg.String(), int64(txn.Bytes())).
-			SetClass(g.cls.String())
+		jsp := g.c.sink.Start(q, "rados.journal")
+		if jsp != nil {
+			jsp.SetOp(pool.Name, pg.String(), int64(txn.Bytes())).SetClass(g.cls.String())
+		}
 		primary.diskWrite(q, g.cls, cost, txn.Bytes())
 		jsp.Finish(q)
 	})

@@ -44,6 +44,7 @@ func (c *Cluster) ReplaceOSD(id int) (recoveryPending bool, err error) {
 	}
 	delete(c.missed, id) // fresh device: nothing stale left to wipe
 	o.alive = true
+	c.dirty = true // the fresh device misses every object it should hold
 	c.cmap.SetUp(id, true)
 	c.cmap.SetIn(id, true)
 	return c.recoveryPendingFor(id), nil

@@ -31,3 +31,33 @@ func BenchmarkResourceHandoff(b *testing.B) {
 	b.ResetTimer()
 	e.Run()
 }
+
+// BenchmarkProcSpawn measures spawn/finish round trips — dominated by the
+// goroutine free pool once it warms up.
+func BenchmarkProcSpawn(b *testing.B) {
+	e := New(1)
+	e.Go("spawner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Go("child", func(q *Proc) {}).Wait(p)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkAfterCallback measures the callback path: no process, just heap
+// scheduling and dispatch.
+func BenchmarkAfterCallback(b *testing.B) {
+	e := New(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, step)
+		}
+	}
+	e.After(time.Microsecond, step)
+	b.ResetTimer()
+	e.Run()
+}

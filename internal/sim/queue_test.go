@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// dispatchRec is one observed (or predicted) dispatch: the virtual time the
+// callback ran and the order in which it was scheduled. Schedule order is the
+// engine's seq tiebreak, so sorting records by (at, id) with a stable sort
+// reproduces the kernel's contract: time order first, scheduling order among
+// equal timestamps.
+type dispatchRec struct {
+	at Time
+	id int
+}
+
+// runQueueWorkload schedules an initial batch of callbacks at pseudo-random
+// delays; each callback may recursively schedule more, mixing zero delays
+// (which must take the same-time FIFO) with future delays (heap). It returns
+// the observed dispatch sequence and the model's prediction.
+func runQueueWorkload(seed int64, initial, depth int) (got, want []dispatchRec) {
+	e := New(seed)
+	rng := rand.New(rand.NewSource(seed)) // workload generator, not engine rng
+	nextID := 0
+	var schedule func(d time.Duration, depth int)
+	schedule = func(d time.Duration, depth int) {
+		id := nextID
+		nextID++
+		want = append(want, dispatchRec{at: e.Now() + Time(d), id: id})
+		e.After(d, func() {
+			got = append(got, dispatchRec{at: e.Now(), id: id})
+			if depth <= 0 {
+				return
+			}
+			for n := rng.Intn(3); n > 0; n-- {
+				var nd time.Duration
+				if rng.Intn(2) == 0 {
+					nd = 0 // same virtual instant: exercises the FIFO fast path
+				} else {
+					nd = time.Duration(1+rng.Intn(100)) * time.Microsecond
+				}
+				schedule(nd, depth-1)
+			}
+		})
+	}
+	for i := 0; i < initial; i++ {
+		schedule(time.Duration(rng.Intn(50))*time.Microsecond, depth)
+	}
+	e.Run()
+	sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+	return got, want
+}
+
+// TestEventQueueProperty drives random interleavings of future and same-time
+// events through the kernel and checks the dispatch contract against a
+// reference model: events run in (time, seq) order — nondecreasing virtual
+// time, scheduling order among equal timestamps — and the whole sequence is
+// reproducible from the seed.
+func TestEventQueueProperty(t *testing.T) {
+	cases := []struct {
+		name           string
+		seed           int64
+		initial, depth int
+	}{
+		{"small", 1, 8, 2},
+		{"wide", 2, 64, 1},
+		{"deep", 3, 4, 6},
+		{"mixed", 4, 32, 3},
+		{"mixed2", 5, 32, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, want := runQueueWorkload(tc.seed, tc.initial, tc.depth)
+			if len(got) != len(want) {
+				t.Fatalf("dispatched %d events, scheduled %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dispatch %d: got (t=%d id=%d), want (t=%d id=%d)",
+						i, got[i].at, got[i].id, want[i].at, want[i].id)
+				}
+				if i > 0 && got[i].at < got[i-1].at {
+					t.Fatalf("dispatch %d: time went backwards (%d after %d)", i, got[i].at, got[i-1].at)
+				}
+			}
+			// Same seed, fresh engine: the full sequence must be identical.
+			again, _ := runQueueWorkload(tc.seed, tc.initial, tc.depth)
+			for i := range got {
+				if again[i] != got[i] {
+					t.Fatalf("rerun dispatch %d diverged: got (t=%d id=%d), first run (t=%d id=%d)",
+						i, again[i].at, again[i].id, got[i].at, got[i].id)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineRandPanicsInsideProc: while a process is running, all randomness
+// must flow through Proc.Rand; Engine.Rand panics so misuse cannot silently
+// perturb the schedule.
+func TestEngineRandPanicsInsideProc(t *testing.T) {
+	e := New(7)
+	_ = e.Rand() // setup time: allowed
+	var recovered any
+	e.Go("p", func(p *Proc) {
+		defer func() { recovered = recover() }()
+		e.Rand()
+	})
+	e.Run()
+	if recovered == nil {
+		t.Fatal("Engine.Rand inside a running process did not panic")
+	}
+}
+
+// TestEngineRandAllowedInCallback: After callbacks run on the engine
+// goroutine with no current process, so Engine.Rand is their only source and
+// must not panic.
+func TestEngineRandAllowedInCallback(t *testing.T) {
+	e := New(7)
+	drew := false
+	e.After(time.Millisecond, func() {
+		e.Rand().Int63()
+		drew = true
+	})
+	e.Run()
+	if !drew {
+		t.Fatal("callback did not run")
+	}
+}
+
+// TestProcRandPanicsWhenNotCurrent: drawing from a parked process's Rand
+// would consume engine randomness off-schedule, so it panics.
+func TestProcRandPanicsWhenNotCurrent(t *testing.T) {
+	e := New(7)
+	var parked *Proc
+	var recovered any
+	e.Go("sleeper", func(p *Proc) {
+		p.Rand().Int63() // current process: allowed
+		parked = p
+		p.Sleep(time.Millisecond)
+	})
+	e.Go("thief", func(p *Proc) {
+		defer func() { recovered = recover() }()
+		parked.Rand()
+	})
+	e.Run()
+	if recovered == nil {
+		t.Fatal("Proc.Rand from a non-current process did not panic")
+	}
+}

@@ -9,10 +9,19 @@
 // virtual clock or a synchronization primitive. The engine resumes processes
 // in (time, sequence) order, which makes every run deterministic for a fixed
 // seed and program.
+//
+// The event queue is split in two: a concrete-typed 4-ary min-heap for
+// future events and a FIFO for events scheduled at the current timestamp.
+// Because the sequence number is globally monotonic and the clock never goes
+// backwards, the FIFO is always sorted by (time, seq), so dispatching the
+// smaller of the heap top and the FIFO front preserves the exact global
+// (time, seq) order while letting the common same-time wakeups (signal
+// fires, resource handoffs, zero sleeps) skip the heap entirely. Finished
+// process goroutines park on a free list and are reused by later spawns, so
+// steady-state spawning allocates nothing.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -39,24 +48,120 @@ type event struct {
 	daemon bool
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+
+// eventHeap is a 4-ary min-heap of events ordered by (at, seq). Events are
+// stored by value in one slice: pushing never boxes and steady-state
+// operation never allocates. The 4-ary shape halves the tree depth of a
+// binary heap, trading slightly more comparisons per level for fewer cache
+// misses on the long sift-downs a deep queue produces.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) push(ev event) {
+	h.a = append(h.a, ev)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(&h.a[i], &h.a[parent]) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	a := h.a
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a[last] = event{} // release fn/proc references
+	h.a = a[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	a := h.a
+	n := len(a)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			return
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(&a[c], &a[best]) {
+				best = c
+			}
+		}
+		if !eventLess(&a[best], &a[i]) {
+			return
+		}
+		a[i], a[best] = a[best], a[i]
+		i = best
+	}
+}
+
+// eventFIFO holds events scheduled at the current timestamp. Appends happen
+// at nondecreasing clock values with globally increasing sequence numbers,
+// so the FIFO is sorted by (at, seq) by construction and the front is always
+// its minimum.
+type eventFIFO struct {
+	a    []event
+	head int
+}
+
+func (f *eventFIFO) len() int { return len(f.a) - f.head }
+
+func (f *eventFIFO) push(ev event) { f.a = append(f.a, ev) }
+
+func (f *eventFIFO) front() *event { return &f.a[f.head] }
+
+func (f *eventFIFO) pop() event {
+	ev := f.a[f.head]
+	f.a[f.head] = event{} // release fn/proc references
+	f.head++
+	if f.head == len(f.a) {
+		f.a = f.a[:0]
+		f.head = 0
+	}
 	return ev
 }
+
+// Stats is a snapshot of the engine's execution counters. All values are
+// deterministic for a fixed seed and program, so they can appear in golden
+// outputs as a kernel-cost measure.
+type Stats struct {
+	EventsScheduled  int64 // total events ever scheduled
+	EventsDispatched int64 // events dispatched (callbacks run or procs resumed)
+	FastPath         int64 // dispatches served from the same-time FIFO, no heap round-trip
+	PeakHeap         int   // high-water mark of the future-event heap
+	PeakFIFO         int   // high-water mark of the same-time FIFO
+	ProcsSpawned     int64 // process starts that created a new goroutine
+	ProcsReused      int64 // process starts served from the free pool
+	ProcsLive        int   // processes spawned and not yet finished
+	ProcsPooled      int   // finished goroutines parked for reuse
+}
+
+// procPoolCap bounds the free list of finished process goroutines kept for
+// reuse. Beyond the cap a finishing goroutine exits instead of parking.
+const procPoolCap = 256
 
 // Engine owns the virtual clock and the event queue. Create one with New,
 // spawn processes with Go, then call Run.
@@ -65,14 +170,19 @@ func (h *eventHeap) Pop() interface{} {
 // engine goroutine and the single currently-running Proc may touch it, which
 // is exactly the DES execution model.
 type Engine struct {
-	now     Time
-	seq     uint64
-	pq      eventHeap
-	yield   chan struct{}
-	rng     *rand.Rand
-	cur     *Proc // currently executing process (nil in engine/callback context)
-	live    int   // processes spawned and not yet finished
-	running bool
+	now        Time
+	seq        uint64
+	heap       eventHeap
+	fifo       eventFIFO
+	yield      chan struct{}
+	rng        *rand.Rand
+	cur        *Proc // currently executing process (nil in engine/callback context)
+	live       int   // processes spawned and not yet finished
+	running    bool
+	inCallback bool // an engine callback (After/FireAt) is executing
+
+	freeProcs []*Proc
+	stats     Stats
 
 	// Daemon bookkeeping: daemon processes (background pollers) do not keep
 	// the simulation alive. Run returns once no non-daemon work remains.
@@ -91,9 +201,25 @@ func New(seed int64) *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Rand returns the engine's deterministic random source. Only the currently
-// running process may use it.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+// Rand returns the engine's deterministic random source. It may be used
+// during setup (before Run) and from engine callbacks; while the simulation
+// is running, processes must draw through Proc.Rand so every consumption is
+// attributable to the deterministic schedule. Calling it from a running
+// process panics — silent misuse is how nondeterminism sneaks in.
+func (e *Engine) Rand() *rand.Rand {
+	if e.running && !e.inCallback {
+		panic("sim: Engine.Rand called while the simulation is running; use Proc.Rand from process context")
+	}
+	return e.rng
+}
+
+// Stats returns a snapshot of the engine's execution counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.ProcsLive = e.live
+	s.ProcsPooled = len(e.freeProcs)
+	return s
+}
 
 func (e *Engine) schedule(at Time, p *Proc, fn func()) {
 	if at < e.now {
@@ -110,7 +236,19 @@ func (e *Engine) schedule(at Time, p *Proc, fn func()) {
 		e.nonDaemonEvents++
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: at, seq: e.seq, proc: p, fn: fn, daemon: daemon})
+	e.stats.EventsScheduled++
+	ev := event{at: at, seq: e.seq, proc: p, fn: fn, daemon: daemon}
+	if at == e.now {
+		e.fifo.push(ev)
+		if n := e.fifo.len(); n > e.stats.PeakFIFO {
+			e.stats.PeakFIFO = n
+		}
+		return
+	}
+	e.heap.push(ev)
+	if n := e.heap.len(); n > e.stats.PeakHeap {
+		e.stats.PeakHeap = n
+	}
 }
 
 // After schedules fn to run as a callback at now+d. The callback runs on the
@@ -139,6 +277,7 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   *Signal
+	fn     func(p *Proc)
 	daemon bool
 	tracer Tracer
 }
@@ -166,8 +305,16 @@ func (p *Proc) Engine() *Engine { return p.e }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.e.now }
 
-// Rand returns the engine's deterministic random source.
-func (p *Proc) Rand() *rand.Rand { return p.e.rng }
+// Rand returns the engine's deterministic random source. Only the currently
+// running process may draw from it; calling Rand on a parked or finished
+// process panics, because an off-schedule draw would silently perturb every
+// later random decision in the run.
+func (p *Proc) Rand() *rand.Rand {
+	if p.e.cur != p {
+		panic("sim: Proc.Rand called outside the running process")
+	}
+	return p.e.rng
+}
 
 // Go spawns fn as a new process starting at the current virtual time and
 // returns a Signal fired when it finishes. A process spawned from within a
@@ -199,7 +346,22 @@ func (e *Engine) GoForeground(name string, fn func(p *Proc)) *Signal {
 }
 
 func (e *Engine) goAt(at Time, name string, fn func(p *Proc), daemon bool) *Signal {
-	p := &Proc{e: e, name: name, resume: make(chan struct{}), done: NewSignal(), daemon: daemon}
+	var p *Proc
+	if n := len(e.freeProcs); n > 0 {
+		p = e.freeProcs[n-1]
+		e.freeProcs[n-1] = nil
+		e.freeProcs = e.freeProcs[:n-1]
+		p.name = name
+		p.daemon = daemon
+		p.tracer = nil
+		p.done = NewSignal() // callers may still hold the previous run's signal
+		p.fn = fn
+		e.stats.ProcsReused++
+	} else {
+		p = &Proc{e: e, name: name, resume: make(chan struct{}), done: NewSignal(), daemon: daemon, fn: fn}
+		e.stats.ProcsSpawned++
+		go p.loop()
+	}
 	if e.cur != nil {
 		p.tracer = e.cur.tracer // children report into the spawner's span
 	}
@@ -207,18 +369,37 @@ func (e *Engine) goAt(at Time, name string, fn func(p *Proc), daemon bool) *Sign
 	if !daemon {
 		e.nonDaemonLive++
 	}
-	go func() {
-		<-p.resume // wait for first resume
+	e.schedule(at, p, nil)
+	return p.done
+}
+
+// loop is the body of a process goroutine: run the current fn, do the
+// finish bookkeeping, park on the free list (if there is room) and wait to
+// be reincarnated as a later spawn. The engine is blocked on yield for the
+// whole bookkeeping section, and a reused Proc's fields are rewritten
+// strictly before the resume send that wakes the goroutine again, so the
+// handoff is race-free.
+func (p *Proc) loop() {
+	e := p.e
+	for {
+		<-p.resume // wait for first resume of this incarnation
+		fn := p.fn
+		p.fn = nil
 		fn(p)
 		e.live--
 		if !p.daemon {
 			e.nonDaemonLive--
 		}
 		p.done.fire(e)
-		e.yield <- struct{}{} // return control to engine; goroutine ends
-	}()
-	e.schedule(at, p, nil)
-	return p.done
+		recycle := len(e.freeProcs) < procPoolCap
+		if recycle {
+			e.freeProcs = append(e.freeProcs, p)
+		}
+		e.yield <- struct{}{} // return control to engine
+		if !recycle {
+			return
+		}
+	}
 }
 
 // Go spawns a child process at the current time (convenience for procs).
@@ -262,14 +443,34 @@ func (e *Engine) RunUntil(limit Time) int {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.pq) > 0 {
+	for {
+		hasF := e.fifo.len() > 0
+		hasH := e.heap.len() > 0
+		if !hasF && !hasH {
+			break
+		}
 		if e.nonDaemonLive == 0 && e.nonDaemonEvents == 0 {
 			break // only daemon work remains; it parks until the next Run
 		}
-		if e.pq[0].at > limit {
+		// Dispatch the global (at, seq) minimum of the two queues.
+		fromFIFO := hasF && (!hasH || eventLess(e.fifo.front(), &e.heap.a[0]))
+		var at Time
+		if fromFIFO {
+			at = e.fifo.front().at
+		} else {
+			at = e.heap.a[0].at
+		}
+		if at > limit {
 			break
 		}
-		ev := heap.Pop(&e.pq).(event)
+		var ev event
+		if fromFIFO {
+			ev = e.fifo.pop()
+			e.stats.FastPath++
+		} else {
+			ev = e.heap.pop()
+		}
+		e.stats.EventsDispatched++
 		if !ev.daemon {
 			e.nonDaemonEvents--
 		}
@@ -277,7 +478,9 @@ func (e *Engine) RunUntil(limit Time) int {
 			e.now = ev.at
 		}
 		if ev.fn != nil {
+			e.inCallback = true
 			ev.fn()
+			e.inCallback = false
 			continue
 		}
 		e.cur = ev.proc
@@ -292,7 +495,7 @@ func (e *Engine) RunUntil(limit Time) int {
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return e.fifo.len() + e.heap.len() }
 
 // Live reports the number of spawned-but-unfinished processes.
 func (e *Engine) Live() int { return e.live }
