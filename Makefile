@@ -1,10 +1,21 @@
 # Tier-1 verification: everything a PR must keep green.
-.PHONY: verify build test vet race check-tests bench kernel-bench profile golden golden-write bench-json fmt-check
+.PHONY: verify build test vet lint race check-tests bench kernel-bench profile golden golden-write bench-json bench-compare fuzz-smoke fmt-check
 
 verify: vet build test check-tests
 
 vet:
 	go vet ./...
+
+# Static analysis: go vet plus staticcheck. CI installs staticcheck pinned
+# (see .github/workflows/ci.yml); locally the staticcheck half is skipped
+# with a note when the binary isn't on PATH, so `make lint` never requires
+# a network fetch.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only (CI pins staticcheck 2024.1.1)"; \
+	fi
 
 build:
 	go build ./...
@@ -15,7 +26,7 @@ test:
 # Concurrency-sensitive packages under the race detector (includes the
 # experiment harness's worker pool and the chaos kill-schedule scenarios).
 race:
-	go test -race ./internal/metrics ./internal/sim ./internal/qos ./internal/fpindex ./internal/rados ./internal/core ./internal/chaos ./internal/harness ./internal/experiments
+	go test -race ./internal/metrics ./internal/sim ./internal/qos ./internal/gateway ./internal/fpindex ./internal/rados ./internal/core ./internal/chaos ./internal/harness ./internal/experiments
 
 # Every internal package must ship tests.
 check-tests:
@@ -53,3 +64,18 @@ golden-write:
 # summary; CI uploads results/ as an artifact.
 bench-json:
 	go run ./cmd/dedupbench -scale 0.25 -results results -timing results/BENCH_pr.json all
+
+# Wall-clock regression gate: PR sweep total vs the checked-in baseline
+# (results/BENCH_baseline.json — committed with `git add -f`, results/ is
+# otherwise gitignored). >25% slower fails, 10-25% warns. The script's
+# --selftest exercises the thresholds themselves.
+bench-compare:
+	sh scripts/bench-compare.sh --selftest
+	sh scripts/bench-compare.sh results/BENCH_baseline.json results/BENCH_pr.json
+
+# Fuzz smoke: 30s per fuzz target over the parsers that guard on-disk and
+# operator input (ref keys, SLO specs). Regression corpora run in `make
+# test`; this step searches for new inputs.
+fuzz-smoke:
+	go test -run NONE -fuzz FuzzRefKeyRoundTrip -fuzztime 30s ./internal/core
+	go test -run NONE -fuzz FuzzParseSLO -fuzztime 30s ./internal/gateway

@@ -8,7 +8,7 @@
 //
 //	dedupctl [flags] <action>...
 //
-// Actions: status df metrics qos sim index scrub corrupt repair gc audit evict verify chaos
+// Actions: status df metrics qos sim index tenants scrub corrupt repair gc audit evict verify chaos
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"dedupstore/internal/chaos"
 	"dedupstore/internal/chunker"
 	"dedupstore/internal/fpindex"
+	"dedupstore/internal/gateway"
 	"dedupstore/internal/store"
 	"dedupstore/internal/workload"
 )
@@ -43,9 +44,10 @@ func main() {
 		useCDC   = flag.Bool("cdc", false, "use content-defined chunking")
 		fpRefs   = flag.Bool("fp-refs", false, "false-positive refcount mode (requires gc)")
 		traceIn  = flag.String("trace", "", "replay this block trace instead of synthetic fill")
+		noisySLO = flag.String("slo", "bronze", "SLO for the tenants action's noisy tenant: gold|silver|bronze|unthrottled or weight=N,rate=SIZE,burst=SIZE,inflight=N")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos sim index scrub corrupt repair gc audit evict verify chaos\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos sim index tenants scrub corrupt repair gc audit evict verify chaos\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -103,6 +105,8 @@ func main() {
 			c.simStats()
 		case "index":
 			c.index()
+		case "tenants":
+			c.tenants(*noisySLO)
 		case "scrub":
 			c.scrub(false)
 		case "repair":
@@ -230,6 +234,82 @@ func (c *ctl) simStats() {
 	sink := c.world.Cluster.Trace()
 	fmt.Printf("trace: sampling 1 of every %d spans, %d seen, %d recorded\n",
 		sink.Sample(), sink.Seen(), sink.Total())
+}
+
+// tenants runs a short multi-tenant demo — a gold interactive tenant, a
+// silver steady writer, and a noisy tenant (SLO from -slo) hammering
+// low-dup random writes — through the gateway's per-tenant admission, then
+// prints the per-tenant accounting table an operator would read to answer
+// "who is loading the cluster, and is anyone blowing their neighbors' tail?"
+func (c *ctl) tenants(noisySpec string) {
+	slo, err := gateway.ParseSLO(noisySpec)
+	if err != nil {
+		log.Fatalf("dedupctl: -slo %q: %v", noisySpec, err)
+	}
+	coord := dedupstore.NewTenantCoordinator(c.world.Cluster.Metrics(), 0)
+	span := int64(8 << 20)
+	type job struct {
+		name string
+		slo  gateway.SLO
+		cfg  workload.FIOConfig
+	}
+	jobs := []job{
+		{name: "interactive", slo: gateway.Gold, cfg: workload.FIOConfig{
+			BlockSize: 16 << 10, Span: span, Pattern: workload.RandWrite,
+			DedupPct: 50, Threads: 2, IODepth: 2, Seed: 11, Ops: 256,
+		}},
+		{name: "steady", slo: gateway.Silver, cfg: workload.FIOConfig{
+			BlockSize: 64 << 10, Span: span, Pattern: workload.SeqWrite,
+			DedupPct: 80, Threads: 4, IODepth: 4, Seed: 12, Ops: 256,
+		}},
+		{name: "noisy", slo: slo, cfg: workload.FIOConfig{
+			BlockSize: 64 << 10, Span: span, Pattern: workload.RandWrite,
+			DedupPct: 0, Threads: 8, IODepth: 8, Seed: 13, Ops: 512,
+		}},
+	}
+	devs := make([]*dedupstore.BlockDevice, len(jobs))
+	for i, j := range jobs {
+		tn, err := coord.Register(j.name, j.slo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		devs[i], err = dedupstore.NewTenantBlockDevice("ten."+j.name, span, 1<<20,
+			c.store.Client("client."+j.name), tn)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.world.Run(func(p *dedupstore.Proc) {
+		for i := range jobs {
+			i := i
+			p.Go("tenant."+jobs[i].name, func(q *dedupstore.Proc) {
+				if res := workload.RunFIO(q, devs[i], jobs[i].cfg); res.Errors > 0 {
+					log.Fatalf("tenant %s: %d errors", jobs[i].name, res.Errors)
+				}
+			})
+		}
+	})
+	fmt.Printf("%-12s %-22s %7s %9s %10s %12s %9s %9s\n",
+		"tenant", "slo", "ops", "MB", "throttled", "queue-wait", "mean ms", "p99 ms")
+	for _, st := range coord.Stats() {
+		fmt.Printf("%-12s %-22s %7d %9.2f %10d %12v %9.2f %9.2f\n",
+			st.Name, tenantSLO(st), st.Ops, float64(st.Bytes)/1e6, st.Throttled,
+			st.QueueWait.Round(time.Millisecond),
+			float64(st.MeanLat)/float64(time.Millisecond),
+			float64(st.P99Lat)/float64(time.Millisecond))
+	}
+}
+
+// tenantSLO renders a tenant's contract compactly for the table.
+func tenantSLO(st dedupstore.TenantStats) string {
+	s := gateway.SLO{Class: st.Class, Weight: st.Weight, RateBps: st.RateBps,
+		Burst: st.Burst, MaxInflight: st.MaxInflight}
+	for _, preset := range []gateway.SLO{gateway.Gold, gateway.Silver, gateway.Bronze} {
+		if s == preset {
+			return s.Class
+		}
+	}
+	return s.String()
 }
 
 // index dumps the per-OSD fingerprint index state: live entries, memtable

@@ -27,6 +27,7 @@ import (
 	"dedupstore/internal/chaos"
 	"dedupstore/internal/client"
 	"dedupstore/internal/core"
+	"dedupstore/internal/gateway"
 	"dedupstore/internal/metrics"
 	"dedupstore/internal/rados"
 	"dedupstore/internal/sim"
@@ -79,6 +80,16 @@ type (
 	RetryBackend = client.RetryBackend
 	// RetryPolicy bounds a RetryBackend's retry loop.
 	RetryPolicy = client.RetryPolicy
+	// TenantCoordinator is the multi-tenant serving front end
+	// (NewTenantCoordinator): tenants share one cluster through per-tenant
+	// token-bucket admission.
+	TenantCoordinator = gateway.Coordinator
+	// Tenant is one registered tenant identity with its SLO and accounting.
+	Tenant = gateway.Tenant
+	// SLO is a tenant's service contract (rate, burst, inflight, weight).
+	SLO = gateway.SLO
+	// TenantStats is one tenant's aggregated admission accounting.
+	TenantStats = gateway.TenantStats
 )
 
 // FormatUsage renders resource utilization rows (Cluster.Resources().Snapshot)
@@ -107,6 +118,35 @@ var (
 	// client should retry (dead primary not yet remapped, PG below quorum).
 	IsUnavailable = rados.IsUnavailable
 )
+
+// Multi-tenant gateway helpers.
+var (
+	// NewTenantCoordinator creates a tenant admission front end publishing
+	// per-tenant instruments into a registry (usually Cluster.Metrics()).
+	NewTenantCoordinator = gateway.New
+	// ParseSLO parses an SLO spec: "gold", "silver", "bronze",
+	// "unthrottled", or "weight=500,rate=32M,burst=4M,inflight=16".
+	ParseSLO = gateway.ParseSLO
+	// GoldSLO, SilverSLO and BronzeSLO are the built-in service classes.
+	GoldSLO   = gateway.Gold
+	SilverSLO = gateway.Silver
+	BronzeSLO = gateway.Bronze
+)
+
+// NewTenantBlockDevice creates a virtual disk whose every op clears the
+// tenant's admission (token bucket, inflight cap, coordinator slots) before
+// reaching the dedup store, with the tenant identity attributed on every
+// trace span along the way.
+func NewTenantBlockDevice(name string, size, objectSize int64, cl *Client, tn *Tenant) (*BlockDevice, error) {
+	cl.SetTenant(tn.Name())
+	d, err := client.NewBlockDevice(name, size, objectSize, tn.Backend(&client.DedupBackend{Client: cl}))
+	if err != nil {
+		return nil, err
+	}
+	d.SetTrace(cl.Trace())
+	d.SetTenant(tn.Name())
+	return d, nil
+}
 
 // DefaultConfig returns the paper's evaluation configuration (32 KiB static
 // chunks, replicated ×2 pools, post-processing with rate control).

@@ -76,6 +76,7 @@ type BlockDevice struct {
 	objectSize int64
 	backend    ObjectBackend
 	sink       *metrics.TraceSink
+	tenant     string
 }
 
 // NewBlockDevice creates a block device view. objectSize defaults to 4 MiB
@@ -104,6 +105,11 @@ func (d *BlockDevice) ObjectSize() int64 { return d.objectSize }
 // under. A nil sink disables device-level tracing.
 func (d *BlockDevice) SetTrace(sink *metrics.TraceSink) { d.sink = sink }
 
+// SetTenant attributes the device's spans to a tenant identity, so
+// device-level I/O joins the per-tenant trace trail the backend layers
+// continue.
+func (d *BlockDevice) SetTenant(tenant string) { d.tenant = tenant }
+
 // ObjectName returns the backing object name for stripe index idx.
 func (d *BlockDevice) ObjectName(idx int64) string {
 	return fmt.Sprintf("%s.%016x", d.name, idx)
@@ -119,7 +125,7 @@ func (d *BlockDevice) WriteAt(p *sim.Proc, off int64, data []byte) error {
 	if off < 0 || off+int64(len(data)) > d.size {
 		return fmt.Errorf("client: write [%d,%d) outside device %q size %d", off, off+int64(len(data)), d.name, d.size)
 	}
-	sp := d.sink.Start(p, "rbd.write").SetOp(d.name, "", int64(len(data)))
+	sp := d.sink.Start(p, "rbd.write").SetOp(d.name, "", int64(len(data))).SetTenant(d.tenant)
 	defer sp.Finish(p)
 	for len(data) > 0 {
 		idx := off / d.objectSize
@@ -143,7 +149,7 @@ func (d *BlockDevice) ReadAt(p *sim.Proc, off, length int64) ([]byte, error) {
 	if off < 0 || off+length > d.size {
 		return nil, fmt.Errorf("client: read [%d,%d) outside device %q size %d", off, off+length, d.name, d.size)
 	}
-	sp := d.sink.Start(p, "rbd.read").SetOp(d.name, "", length)
+	sp := d.sink.Start(p, "rbd.read").SetOp(d.name, "", length).SetTenant(d.tenant)
 	defer sp.Finish(p)
 	out := make([]byte, length)
 	pos := int64(0)

@@ -312,8 +312,9 @@ type clientOpCtx struct {
 
 // Client opens a user session with its own network link.
 type Client struct {
-	s  *Store
-	gw *rados.Gateway
+	s      *Store
+	gw     *rados.Gateway
+	tenant string
 
 	// Pre-resolved per-kind op handles (write/read/delete).
 	opWrite, opRead, opDelete clientOpStats
@@ -334,12 +335,19 @@ func (s *Store) Client(name string) *Client {
 // Trace returns the cluster trace sink this client's operations record into.
 func (cl *Client) Trace() *metrics.TraceSink { return cl.s.cluster.Trace() }
 
+// SetTenant attributes this session to a tenant: the dedup-level spans it
+// opens and the rados ops its gateway issues all carry the identity.
+func (cl *Client) SetTenant(tenant string) {
+	cl.tenant = tenant
+	cl.gw.SetTenant(tenant)
+}
+
 // startOp opens a dedup-level trace span (the outermost span of a client
 // op; the rados ops it issues nest under it).
 func (cl *Client) startOp(p *sim.Proc, kind string, st *clientOpStats, bytes int) clientOpCtx {
 	sp := cl.s.cluster.Trace().Start(p, kind)
 	if sp != nil {
-		sp.SetOp(cl.s.cfg.MetaPoolName, "", int64(bytes))
+		sp.SetOp(cl.s.cfg.MetaPoolName, "", int64(bytes)).SetTenant(cl.tenant)
 	}
 	return clientOpCtx{sp: sp, st: st, start: p.Now()}
 }

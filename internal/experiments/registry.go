@@ -80,6 +80,7 @@ func Registry() []Experiment {
 		NewExperiment("qos", QoSResult),
 		NewExperiment("fpindex", FPIndexResult),
 		NewExperiment("scale", ScaleResult),
+		NewExperiment("tenants", TenantsResult),
 	}
 }
 

@@ -1,0 +1,505 @@
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dedupstore/internal/client"
+	"dedupstore/internal/metrics"
+	"dedupstore/internal/sim"
+)
+
+// SLO is a tenant's service contract. The zero value is unthrottled: no
+// rate cap, no inflight cap, default weight — "best effort with full
+// priority", which is also what disabling isolation means.
+type SLO struct {
+	// Class is the display name ("gold", "silver", "bronze", "custom").
+	Class string
+	// Weight is the tenant's share when coordinator service slots are
+	// contended (values below 1 are treated as 1, so no tenant starves on
+	// slots). It plays the same role tenant-to-tenant that qos class
+	// weights play class-to-class inside the cluster.
+	Weight int64
+	// RateBps is the token-bucket refill in bytes per second; 0 with Burst
+	// 0 means no bucket at all. RateBps 0 with Burst > 0 is a hard
+	// allowance: the tenant may write Burst bytes ever, then starves.
+	RateBps int64
+	// Burst is the bucket capacity in bytes (defaults to RateBps/8 when a
+	// rate is set but no burst given).
+	Burst int64
+	// MaxInflight caps the tenant's concurrent ops (0 = unlimited).
+	MaxInflight int
+}
+
+// Throttled reports whether the SLO carries any admission constraint.
+func (s SLO) Throttled() bool { return s.RateBps > 0 || s.Burst > 0 || s.MaxInflight > 0 }
+
+// The built-in SLO classes. Gold is unthrottled and carries the dominant
+// slot weight; silver and bronze trade progressively lower rate caps and
+// concurrency for a smaller share. Rates are sized for the simulation's
+// ~1000:1 scaled datasets.
+var (
+	Gold   = SLO{Class: "gold", Weight: 1000}
+	Silver = SLO{Class: "silver", Weight: 250, RateBps: 128 << 20, Burst: 16 << 20, MaxInflight: 64}
+	Bronze = SLO{Class: "bronze", Weight: 100, RateBps: 32 << 20, Burst: 4 << 20, MaxInflight: 16}
+)
+
+// ParseSLO parses an SLO spec: a class name ("gold", "silver", "bronze"),
+// or a comma-separated custom spec of key=value fields — weight=N,
+// rate=SIZE (per second), burst=SIZE, inflight=N, class=NAME — where SIZE
+// accepts K/M/G binary suffixes ("rate=32M,burst=4M,inflight=16").
+func ParseSLO(spec string) (SLO, error) {
+	switch strings.TrimSpace(strings.ToLower(spec)) {
+	case "gold":
+		return Gold, nil
+	case "silver":
+		return Silver, nil
+	case "bronze":
+		return Bronze, nil
+	case "unthrottled":
+		return SLO{Class: "custom"}, nil
+	case "":
+		return SLO{}, fmt.Errorf("gateway: empty SLO spec")
+	}
+	slo := SLO{Class: "custom"}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(field, "=")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return SLO{}, fmt.Errorf("gateway: bad SLO field %q (want key=value)", field)
+		}
+		switch key {
+		case "weight":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 1 {
+				return SLO{}, fmt.Errorf("gateway: bad weight %q", val)
+			}
+			slo.Weight = n
+		case "rate":
+			n, err := parseSize(val)
+			if err != nil {
+				return SLO{}, fmt.Errorf("gateway: bad rate %q: %v", val, err)
+			}
+			slo.RateBps = n
+		case "burst":
+			n, err := parseSize(val)
+			if err != nil {
+				return SLO{}, fmt.Errorf("gateway: bad burst %q: %v", val, err)
+			}
+			slo.Burst = n
+		case "inflight":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return SLO{}, fmt.Errorf("gateway: bad inflight %q", val)
+			}
+			slo.MaxInflight = n
+		case "class":
+			slo.Class = val
+		default:
+			return SLO{}, fmt.Errorf("gateway: unknown SLO field %q", key)
+		}
+	}
+	if slo.RateBps > 0 && slo.Burst == 0 {
+		slo.Burst = slo.RateBps / 8
+		if slo.Burst < 1 {
+			slo.Burst = 1
+		}
+	}
+	return slo, nil
+}
+
+// String renders the SLO as a spec ParseSLO accepts (built-in classes round
+// down to their names).
+func (s SLO) String() string {
+	for _, preset := range []SLO{Gold, Silver, Bronze} {
+		if s == preset {
+			return s.Class
+		}
+	}
+	parts := []string{}
+	if s.Class != "" && s.Class != "custom" {
+		parts = append(parts, "class="+s.Class)
+	}
+	if s.Weight > 0 {
+		parts = append(parts, fmt.Sprintf("weight=%d", s.Weight))
+	}
+	if s.RateBps > 0 {
+		parts = append(parts, fmt.Sprintf("rate=%d", s.RateBps))
+	}
+	if s.Burst > 0 {
+		parts = append(parts, fmt.Sprintf("burst=%d", s.Burst))
+	}
+	if s.MaxInflight > 0 {
+		parts = append(parts, fmt.Sprintf("inflight=%d", s.MaxInflight))
+	}
+	if len(parts) == 0 {
+		return "unthrottled"
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseSize parses a non-negative byte count with optional K/M/G binary
+// suffix (case-insensitive, optional trailing "B" or "iB").
+func parseSize(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	t = strings.TrimSuffix(t, "IB")
+	t = strings.TrimSuffix(t, "B")
+	shift := 0
+	switch {
+	case strings.HasSuffix(t, "K"):
+		shift, t = 10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		shift, t = 20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		shift, t = 30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || n > (1<<62)>>shift {
+		return 0, fmt.Errorf("size out of range")
+	}
+	return n << shift, nil
+}
+
+// Coordinator is the serving front end: it owns the tenant registry and the
+// (optional) bounded pool of service slots every admitted op occupies.
+// Slots model the front end's own capacity — request handler concurrency —
+// and are granted in start-time-fair order weighted by tenant SLO weight,
+// exactly the discipline qos.Scheduler applies per class at each OSD.
+type Coordinator struct {
+	reg   *metrics.Registry
+	slots int // concurrent admitted ops (0 = unbounded, slot layer inactive)
+
+	inflight    int
+	queuedTotal int
+	virt        int64 // SFQ virtual clock across tenants
+
+	tenants map[string]*Tenant
+	order   []*Tenant // registration order, for stable reporting
+}
+
+// New returns a coordinator publishing per-tenant instruments into reg
+// (typically the cluster registry, so DumpMetrics carries them). slots
+// bounds concurrently admitted ops across all tenants; 0 leaves the slot
+// layer inactive and admission is token buckets + inflight caps only.
+func New(reg *metrics.Registry, slots int) *Coordinator {
+	if slots < 0 {
+		slots = 0
+	}
+	return &Coordinator{reg: reg, slots: slots, tenants: make(map[string]*Tenant)}
+}
+
+// weightScale keeps integer SFQ finish-tag increments meaningful for small
+// costs divided by large weights (same constant role as in qos).
+const weightScale = 1000
+
+// Tenant is one registered identity: its SLO, token bucket, inflight
+// accounting and attribution instruments.
+type Tenant struct {
+	c    *Coordinator
+	name string
+	slo  SLO
+
+	bucket   *TokenBucket // nil when the SLO sets no rate/burst
+	inflight int
+	depth    *sim.Cond // parks submitters at the inflight cap
+
+	queue      []*slotWaiter // waiters for coordinator slots, FIFO
+	lastFinish int64         // SFQ finish tag of the latest submission
+
+	ops       *metrics.Counter
+	bytes     *metrics.Counter
+	throttled *metrics.Counter
+	queueWait *metrics.Counter // microseconds of admission wait
+	lat       *metrics.Histogram
+
+	waitTotal time.Duration
+}
+
+// Register adds a tenant under the given SLO. Names must be unique and
+// non-empty; the metric family is tenant_<sanitized-name>_*.
+func (c *Coordinator) Register(name string, slo SLO) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("gateway: empty tenant name")
+	}
+	if _, ok := c.tenants[name]; ok {
+		return nil, fmt.Errorf("gateway: tenant %q already registered", name)
+	}
+	if slo.Class == "" {
+		slo.Class = "custom"
+	}
+	t := &Tenant{c: c, name: name, slo: slo, depth: sim.NewCond()}
+	if slo.RateBps > 0 || slo.Burst > 0 {
+		t.bucket = NewTokenBucket(slo.RateBps, slo.Burst)
+	}
+	id := sanitizeMetricName(name)
+	t.ops = c.reg.Counter("tenant_" + id + "_ops_total")
+	t.bytes = c.reg.Counter("tenant_" + id + "_bytes_total")
+	t.throttled = c.reg.Counter("tenant_" + id + "_throttled_total")
+	t.queueWait = c.reg.Counter("tenant_" + id + "_queue_wait_us_total")
+	t.lat = c.reg.Histogram("tenant_" + id + "_latency")
+	c.tenants[name] = t
+	c.order = append(c.order, t)
+	return t, nil
+}
+
+// Tenant returns a registered tenant by name.
+func (c *Coordinator) Tenant(name string) (*Tenant, bool) {
+	t, ok := c.tenants[name]
+	return t, ok
+}
+
+// Tenants returns the registered tenants in registration order.
+func (c *Coordinator) Tenants() []*Tenant { return append([]*Tenant(nil), c.order...) }
+
+// sanitizeMetricName maps an arbitrary tenant name onto the registry's
+// identifier alphabet.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Name returns the tenant's identity.
+func (t *Tenant) Name() string { return t.name }
+
+// SLO returns the tenant's contract.
+func (t *Tenant) SLO() SLO { return t.slo }
+
+// Bucket exposes the tenant's token bucket (nil when unthrottled), for
+// retuning via SetRate.
+func (t *Tenant) Bucket() *TokenBucket { return t.bucket }
+
+// weight returns the tenant's clamped slot weight.
+func (t *Tenant) weight() int64 {
+	if t.slo.Weight < 1 {
+		return 1
+	}
+	return t.slo.Weight
+}
+
+// Do admits one tenant operation carrying nbytes of payload and runs op
+// once admission clears: the token bucket is charged nbytes, the tenant's
+// inflight cap and the coordinator's slot pool (if bounded) are acquired,
+// and the op's full latency — admission wait included, since that is what
+// the tenant observes — lands in the tenant's histogram.
+func (t *Tenant) Do(p *sim.Proc, nbytes int64, op func(q *sim.Proc)) {
+	start := p.Now()
+	if t.bucket != nil {
+		t.bucket.Take(p, nbytes)
+	}
+	if max := t.slo.MaxInflight; max > 0 {
+		for t.inflight >= max {
+			t.depth.Wait(p)
+		}
+	}
+	t.inflight++
+	t.c.acquireSlot(p, t, nbytes)
+	wait := (p.Now() - start).Duration()
+	if wait > 0 {
+		t.throttled.Inc()
+		t.queueWait.Add(wait.Microseconds())
+		t.waitTotal += wait
+	}
+
+	op(p)
+
+	t.c.releaseSlot(p)
+	t.inflight--
+	t.depth.Signal(p)
+	t.ops.Inc()
+	t.bytes.Add(nbytes)
+	t.lat.Add((p.Now() - start).Duration())
+}
+
+// slotWaiter is one op queued for a coordinator slot.
+type slotWaiter struct {
+	finish int64
+	sig    *sim.Signal
+}
+
+// acquireSlot blocks until a coordinator service slot is free, granting
+// contended slots in SFQ order across tenants (smallest finish tag first,
+// cost = bytes / tenant weight). A no-op when slots are unbounded.
+func (c *Coordinator) acquireSlot(p *sim.Proc, t *Tenant, nbytes int64) {
+	if c.slots <= 0 {
+		return
+	}
+	// Tag the submission whether or not it queues, so a busy tenant's next
+	// op always starts no earlier than its previous one finished.
+	startTag := c.virt
+	if t.lastFinish > startTag {
+		startTag = t.lastFinish
+	}
+	inc := nbytes * weightScale / t.weight()
+	if inc < 1 {
+		inc = 1
+	}
+	finish := startTag + inc
+	t.lastFinish = finish
+
+	if c.inflight < c.slots && c.queuedTotal == 0 {
+		if startTag > c.virt {
+			c.virt = startTag
+		}
+		c.inflight++
+		return
+	}
+	w := &slotWaiter{finish: finish, sig: sim.NewSignal()}
+	t.queue = append(t.queue, w)
+	c.queuedTotal++
+	w.sig.Wait(p) // releaseSlot dispatches in SFQ order
+}
+
+// releaseSlot frees a slot and grants it to the queued op with the smallest
+// finish tag (per-tenant queues are FIFO with monotone tags, so only heads
+// need comparing). Ties break by registration order, deterministically.
+func (c *Coordinator) releaseSlot(p *sim.Proc) {
+	if c.slots <= 0 {
+		return
+	}
+	c.inflight--
+	for c.inflight < c.slots && c.queuedTotal > 0 {
+		var best *Tenant
+		for _, t := range c.order {
+			if len(t.queue) == 0 {
+				continue
+			}
+			if best == nil || t.queue[0].finish < best.queue[0].finish {
+				best = t
+			}
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		c.queuedTotal--
+		if w.finish > c.virt {
+			c.virt = w.finish
+		}
+		c.inflight++
+		w.sig.Fire(p)
+	}
+}
+
+// Backend wraps an ObjectBackend so every op is admitted under the
+// tenant's SLO before it reaches the cluster: writes charge the bucket
+// their payload, reads their requested length, deletes a single token.
+func (t *Tenant) Backend(inner client.ObjectBackend) client.ObjectBackend {
+	return &tenantBackend{t: t, inner: inner}
+}
+
+type tenantBackend struct {
+	t     *Tenant
+	inner client.ObjectBackend
+}
+
+func (b *tenantBackend) Write(p *sim.Proc, oid string, off int64, data []byte) error {
+	var err error
+	b.t.Do(p, int64(len(data)), func(q *sim.Proc) { err = b.inner.Write(q, oid, off, data) })
+	return err
+}
+
+func (b *tenantBackend) Read(p *sim.Proc, oid string, off, length int64) ([]byte, error) {
+	charge := length
+	if charge < 0 {
+		charge = 1 // length unknown until served; charge a minimum token
+	}
+	var data []byte
+	var err error
+	b.t.Do(p, charge, func(q *sim.Proc) { data, err = b.inner.Read(q, oid, off, length) })
+	return data, err
+}
+
+func (b *tenantBackend) Delete(p *sim.Proc, oid string) error {
+	var err error
+	b.t.Do(p, 1, func(q *sim.Proc) { err = b.inner.Delete(q, oid) })
+	return err
+}
+
+// TenantStats is one tenant's aggregated accounting, for tables and tests.
+type TenantStats struct {
+	Name        string
+	Class       string
+	Weight      int64
+	RateBps     int64
+	Burst       int64
+	MaxInflight int
+	Ops         int64
+	Bytes       int64
+	Throttled   int64
+	QueueWait   time.Duration
+	MeanLat     time.Duration
+	P99Lat      time.Duration
+}
+
+// Stats reports every tenant's accounting in registration order.
+func (c *Coordinator) Stats() []TenantStats {
+	out := make([]TenantStats, 0, len(c.order))
+	for _, t := range c.order {
+		out = append(out, t.Stats())
+	}
+	return out
+}
+
+// Stats reports this tenant's accounting.
+func (t *Tenant) Stats() TenantStats {
+	st := TenantStats{
+		Name: t.name, Class: t.slo.Class, Weight: t.weight(),
+		RateBps: t.slo.RateBps, Burst: t.slo.Burst, MaxInflight: t.slo.MaxInflight,
+		Ops: t.ops.Value(), Bytes: t.bytes.Value(), Throttled: t.throttled.Value(),
+		QueueWait: t.waitTotal,
+	}
+	if t.lat.Count() > 0 {
+		st.MeanLat = t.lat.Mean()
+		st.P99Lat = t.lat.Percentile(99)
+	}
+	return st
+}
+
+// ClassTotals aggregates tenant accounting per SLO class, ordered by class
+// name — the view the many-tenant experiment reports.
+type ClassTotals struct {
+	Class     string
+	Tenants   int
+	Ops       int64
+	Bytes     int64
+	Throttled int64
+	QueueWait time.Duration
+}
+
+// Totals aggregates per-class accounting across all tenants.
+func (c *Coordinator) Totals() []ClassTotals {
+	byClass := map[string]*ClassTotals{}
+	var names []string
+	for _, t := range c.order {
+		ct, ok := byClass[t.slo.Class]
+		if !ok {
+			ct = &ClassTotals{Class: t.slo.Class}
+			byClass[t.slo.Class] = ct
+			names = append(names, t.slo.Class)
+		}
+		ct.Tenants++
+		ct.Ops += t.ops.Value()
+		ct.Bytes += t.bytes.Value()
+		ct.Throttled += t.throttled.Value()
+		ct.QueueWait += t.waitTotal
+	}
+	sort.Strings(names)
+	out := make([]ClassTotals, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byClass[n])
+	}
+	return out
+}

@@ -29,6 +29,7 @@ type Span struct {
 	Parent uint64
 	Name   string // op kind, e.g. "rados.write"
 	Class  string // QoS class the op was admitted under ("client", "dedup", ...)
+	Tenant string // tenant the op is attributed to ("" = not tenant traffic)
 	Pool   string
 	PG     string
 	Bytes  int64
@@ -106,6 +107,14 @@ func (sp *Span) SetClass(class string) *Span {
 	return sp
 }
 
+// SetTenant attributes the span to a tenant identity. Nil-safe.
+func (sp *Span) SetTenant(tenant string) *Span {
+	if sp != nil {
+		sp.Tenant = tenant
+	}
+	return sp
+}
+
 // Finish closes the span at the process's current virtual time, restores the
 // parent tracer, and records the span in the sink. Must be called on the
 // same process that Started it. Nil-safe. Finish returns the span to the
@@ -136,6 +145,9 @@ func (sp *Span) String() string {
 	fmt.Fprintf(&b, "%-12v %-16s", sp.Duration(), sp.Name)
 	if sp.Class != "" {
 		fmt.Fprintf(&b, " class=%s", sp.Class)
+	}
+	if sp.Tenant != "" {
+		fmt.Fprintf(&b, " tenant=%s", sp.Tenant)
 	}
 	if sp.Pool != "" {
 		fmt.Fprintf(&b, " pool=%s", sp.Pool)

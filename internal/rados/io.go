@@ -21,6 +21,7 @@ type Gateway struct {
 	nic        *qos.Scheduler
 	cls        qos.Class
 	foreground bool
+	tenant     string // tenant identity stamped on this gateway's spans
 }
 
 // NewGateway creates a client gateway with its own 10GbE link. Its
@@ -62,6 +63,14 @@ func (c *Cluster) HostGatewayClass(hostName string, cls qos.Class) (*Gateway, er
 // Class returns the QoS class this gateway's operations are admitted under.
 func (g *Gateway) Class() qos.Class { return g.cls }
 
+// SetTenant attributes this gateway's operations to a tenant: every span it
+// opens from here on carries the identity, so cluster-level traffic is
+// traceable back to the serving front end's tenant that issued it.
+func (g *Gateway) SetTenant(tenant string) { g.tenant = tenant }
+
+// Tenant returns the tenant identity this gateway is attributed to.
+func (g *Gateway) Tenant() string { return g.tenant }
+
 func (g *Gateway) noteOp(bytes int) {
 	if g.foreground {
 		g.c.fgOps.Note(bytes)
@@ -100,7 +109,7 @@ type opCtx struct {
 func (g *Gateway) startOp(p *sim.Proc, kind string, st *opStats, pool *Pool, oid string, bytes int) opCtx {
 	sp := g.c.sink.Start(p, kind)
 	if sp != nil {
-		sp.SetOp(pool.Name, g.c.PGOf(pool, oid).String(), int64(bytes)).SetClass(g.cls.String())
+		sp.SetOp(pool.Name, g.c.PGOf(pool, oid).String(), int64(bytes)).SetClass(g.cls.String()).SetTenant(g.tenant)
 	}
 	return opCtx{sp: sp, st: st, start: p.Now()}
 }

@@ -1,0 +1,150 @@
+#!/bin/sh
+# bench-compare.sh — benchmark wall-clock regression gate.
+#
+# Compares the total_seconds of a PR timing summary (results/BENCH_pr.json,
+# written by `make bench-json`) against the checked-in baseline
+# (results/BENCH_baseline.json):
+#
+#   regression  > 25%  -> ::error annotation, exit 1 (gate fails)
+#   regression 10-25%  -> ::warning annotation, exit 0 (warn only)
+#   otherwise          -> ok, exit 0 (improvements always pass)
+#
+# Usage:
+#   sh scripts/bench-compare.sh <baseline.json> <pr.json>
+#   sh scripts/bench-compare.sh --selftest
+#
+# The JSON is the canonical TimingSummary written by internal/harness
+# (fixed field order, 2-space indent), so the total is extracted with awk
+# and the script has no dependencies beyond POSIX sh + awk.
+
+set -eu
+
+FAIL_PCT=25
+WARN_PCT=10
+
+total_seconds() {
+    awk -F': *' '/"total_seconds"/ { gsub(/[,[:space:]]/, "", $2); print $2; exit }' "$1"
+}
+
+# compare <baseline.json> <pr.json>: prints the verdict, returns 1 on a
+# failing regression.
+compare() {
+    base_file=$1 pr_file=$2
+    for f in "$base_file" "$pr_file"; do
+        if [ ! -f "$f" ]; then
+            echo "::error::bench-compare: missing timing summary $f"
+            return 1
+        fi
+    done
+    base=$(total_seconds "$base_file")
+    pr=$(total_seconds "$pr_file")
+    if [ -z "$base" ] || [ -z "$pr" ]; then
+        echo "::error::bench-compare: no total_seconds in $base_file or $pr_file"
+        return 1
+    fi
+    # pct is the regression relative to baseline; negative = faster.
+    verdict=$(awk -v base="$base" -v pr="$pr" -v fail="$FAIL_PCT" -v warn="$WARN_PCT" 'BEGIN {
+        if (base <= 0) { print "error"; exit }
+        pct = 100 * (pr - base) / base
+        printf "%.1f ", pct
+        if (pct > fail)       print "fail"
+        else if (pct >= warn) print "warn"
+        else                  print "ok"
+    }')
+    if [ "$verdict" = "error" ]; then
+        echo "::error::bench-compare: baseline total_seconds is $base"
+        return 1
+    fi
+    pct=${verdict% *}
+    kind=${verdict#* }
+    case $kind in
+    fail)
+        echo "::error::bench sweep regressed ${pct}% (baseline ${base}s -> PR ${pr}s, limit ${FAIL_PCT}%)"
+        return 1
+        ;;
+    warn)
+        echo "::warning::bench sweep regressed ${pct}% (baseline ${base}s -> PR ${pr}s, fails above ${FAIL_PCT}%)"
+        ;;
+    *)
+        echo "bench-compare ok: baseline ${base}s -> PR ${pr}s (${pct}%)"
+        ;;
+    esac
+    return 0
+}
+
+# mkstub <file> <total_seconds>: writes a minimal TimingSummary.
+mkstub() {
+    cat >"$1" <<EOF
+{
+  "workers": 4,
+  "total_seconds": $2,
+  "sum_seconds": $2,
+  "speedup": 1.0,
+  "experiments": []
+}
+EOF
+}
+
+# selftest: drives the gate with synthetic totals and checks every branch,
+# so the 25% threshold is itself under test in CI.
+selftest() {
+    dir=$(mktemp -d)
+    trap 'rm -rf "$dir"' EXIT
+    mkstub "$dir/base.json" 100.0
+    fails=0
+
+    mkstub "$dir/pr.json" 105.0
+    if ! compare "$dir/base.json" "$dir/pr.json" >/dev/null; then
+        echo "selftest FAIL: 5% regression must pass"
+        fails=$((fails + 1))
+    fi
+
+    mkstub "$dir/pr.json" 115.0
+    out=$(compare "$dir/base.json" "$dir/pr.json") || {
+        echo "selftest FAIL: 15% regression must warn, not fail"
+        fails=$((fails + 1))
+    }
+    case $out in
+    *::warning::*) ;;
+    *)
+        echo "selftest FAIL: 15% regression must emit a ::warning:: annotation, got: $out"
+        fails=$((fails + 1))
+        ;;
+    esac
+
+    mkstub "$dir/pr.json" 130.0
+    if compare "$dir/base.json" "$dir/pr.json" >/dev/null; then
+        echo "selftest FAIL: 30% regression must fail the gate"
+        fails=$((fails + 1))
+    fi
+
+    mkstub "$dir/pr.json" 60.0
+    if ! compare "$dir/base.json" "$dir/pr.json" >/dev/null; then
+        echo "selftest FAIL: an improvement must pass"
+        fails=$((fails + 1))
+    fi
+
+    if compare "$dir/missing.json" "$dir/pr.json" >/dev/null 2>&1; then
+        echo "selftest FAIL: missing baseline must fail"
+        fails=$((fails + 1))
+    fi
+
+    if [ "$fails" -ne 0 ]; then
+        echo "bench-compare selftest: $fails failure(s)"
+        exit 1
+    fi
+    echo "bench-compare selftest ok"
+}
+
+case ${1-} in
+--selftest)
+    selftest
+    ;;
+"")
+    echo "usage: $0 <baseline.json> <pr.json> | --selftest" >&2
+    exit 2
+    ;;
+*)
+    compare "$1" "${2?usage: $0 <baseline.json> <pr.json>}"
+    ;;
+esac
