@@ -26,7 +26,7 @@ test:
 # Concurrency-sensitive packages under the race detector (includes the
 # experiment harness's worker pool and the chaos kill-schedule scenarios).
 race:
-	go test -race ./internal/metrics ./internal/sim ./internal/qos ./internal/gateway ./internal/fpindex ./internal/rados ./internal/core ./internal/chaos ./internal/harness ./internal/experiments
+	go test -race ./internal/metrics ./internal/sim ./internal/qos ./internal/gateway ./internal/fpindex ./internal/hitset ./internal/tiering ./internal/rados ./internal/core ./internal/chaos ./internal/harness ./internal/experiments
 
 # Every internal package must ship tests.
 check-tests:

@@ -8,7 +8,7 @@
 //
 //	dedupctl [flags] <action>...
 //
-// Actions: status df metrics qos sim index tenants scrub corrupt repair gc audit evict verify chaos
+// Actions: status df metrics qos sim index tiering tenants scrub corrupt repair gc audit evict verify chaos
 package main
 
 import (
@@ -47,7 +47,7 @@ func main() {
 		noisySLO = flag.String("slo", "bronze", "SLO for the tenants action's noisy tenant: gold|silver|bronze|unthrottled or weight=N,rate=SIZE,burst=SIZE,inflight=N")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos sim index tenants scrub corrupt repair gc audit evict verify chaos\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupctl [flags] <action>...\nactions: status df metrics qos sim index tiering tenants scrub corrupt repair gc audit evict verify chaos\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -63,8 +63,8 @@ func main() {
 	cfg.HitSet.HitCount = 1000
 	cfg.DedupThreads = 8
 	cfg.FalsePositiveRefs = *fpRefs
-	// The index action needs the fingerprint index up before the store opens
-	// the chunk pool, so pre-scan the action list.
+	// The index and tiering actions need their subsystems up before the
+	// store opens its pools, so pre-scan the action list.
 	for _, a := range actions {
 		if a == "index" {
 			cfg.FPIndex = fpindex.DefaultConfig()
@@ -72,6 +72,9 @@ func main() {
 			// Demo-sized memtable so SSTables and compaction show up even on
 			// the default few-MB dataset.
 			cfg.FPIndex.MemtableBytes = 2 << 10
+		}
+		if a == "tiering" {
+			cfg.Tiering = dedupstore.DefaultTiering()
 		}
 	}
 	if *useCDC {
@@ -105,6 +108,8 @@ func main() {
 			c.simStats()
 		case "index":
 			c.index()
+		case "tiering":
+			c.tiering()
 		case "tenants":
 			c.tenants(*noisySLO)
 		case "scrub":
@@ -181,6 +186,12 @@ func (c *ctl) df() {
 	fmt.Printf("%-10s %10d %11.2f MB %11.2f MB %11.2f MB\n", chunk.Name, chunk.Objects,
 		float64(chunk.LogicalBytes)/1e6, float64(chunk.StoredPhysical)/1e6, float64(chunk.StoredMetadata)/1e6)
 	total := meta.StoredTotal() + chunk.StoredTotal()
+	if cp := c.store.ColdChunkPool(); cp != nil {
+		cold := cl.PoolStats(cp)
+		fmt.Printf("%-10s %10d %11.2f MB %11.2f MB %11.2f MB\n", cold.Name, cold.Objects,
+			float64(cold.LogicalBytes)/1e6, float64(cold.StoredPhysical)/1e6, float64(cold.StoredMetadata)/1e6)
+		total += cold.StoredTotal()
+	}
 	logical := meta.LogicalBytes
 	fmt.Printf("raw stored %.2f MB for %.2f MB logical", float64(total)/1e6, float64(logical)/1e6)
 	if logical > 0 {
@@ -349,6 +360,71 @@ func (c *ctl) index() {
 	fmt.Printf("lookups %d (memtable hits %d), inserts %d, deletes %d, flushes %d, WAL replays %d, lookup/store mismatches %d\n",
 		t.Lookups, t.MemHits, t.Inserts, t.Deletes, t.Flushes, t.Recoveries,
 		c.world.Cluster.Metrics().Counter("fpindex_lookup_mismatch_total").Value())
+}
+
+// tiering exercises the adaptive-redundancy policy daemon over the loaded
+// dataset: the namespace cools past the hitset horizon, a small working set
+// is re-heated across consecutive periods, and policy passes run to
+// convergence. Prints the per-temperature census and the migration totals —
+// what an operator would read to answer "where does my data live, and what
+// did it cost the cluster to move it there?"
+func (c *ctl) tiering() {
+	cfg := c.store.Config()
+	if !cfg.Tiering.Enabled {
+		fmt.Println("tiering not enabled (include the tiering action so the store opens with it)")
+		return
+	}
+	c.world.Run(func(p *dedupstore.Proc) {
+		read := func(off, length int64) {
+			if _, err := c.dev.ReadAt(p, off, length); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Everything the load wrote is warm right now; let it all cool past
+		// the hitset horizon, then run the daemon while re-reading the
+		// device's first objects every period — the daemon demotes the cold
+		// bulk to EC and recaches the re-heated set.
+		p.Sleep(time.Duration(cfg.HitSet.Retain+1) * cfg.HitSet.Period)
+		hotSpan := 2 * c.dev.ObjectSize()
+		if hotSpan > c.dev.Size() {
+			hotSpan = c.dev.Size()
+		}
+		c.store.StartTieringDaemon()
+		for r := 0; r < 5; r++ {
+			read(0, hotSpan)
+			p.Sleep(cfg.HitSet.Period + cfg.HitSet.Period/10)
+		}
+		c.store.StopTieringDaemon()
+		p.Sleep(2 * cfg.Tiering.Interval) // let the daemon notice and exit
+		// One final pass for the census: reads in two consecutive periods
+		// grade the working set hot, a single first touch grades the next
+		// span warm (and promotes its chunks back out of EC), the untouched
+		// bulk stays cold.
+		read(0, hotSpan)
+		p.Sleep(cfg.HitSet.Period)
+		read(0, hotSpan)
+		if warmSpan := hotSpan; warmSpan*2 <= c.dev.Size() {
+			read(warmSpan, warmSpan)
+		}
+		if _, err := c.store.TierPass(p); err != nil {
+			log.Fatal(err)
+		}
+	})
+	census, at := c.store.TierCensus()
+	fmt.Printf("%-5s %8s %12s\n", "tier", "objects", "bytes")
+	for t := 2; t >= 0; t-- {
+		fmt.Printf("%-5s %8d %9.2f MB\n",
+			[3]string{"cold", "warm", "hot"}[t], census.Objects[t], float64(census.Bytes[t])/1e6)
+	}
+	st := c.store.TierStats()
+	fmt.Printf("census at %v after %d pass(es); daemon running=%v, %d migration(s) in flight\n",
+		at, st.Passes, c.store.TieringDaemonRunning(), c.store.TierInFlight())
+	fmt.Printf("promote: %d recaches (%.2f MB rehydrated), %d chunks EC->replicated\n",
+		st.Recaches, float64(st.RecachedBytes)/1e6, st.PromotedChunks)
+	fmt.Printf("demote:  %d rededups, %d evicts (%d cached copies dropped), %d chunks replicated->EC\n",
+		st.Rededups, st.Evicts, st.EvictedChunks, st.DemotedChunks)
+	fmt.Printf("moved %.2f MB between chunk pools; %d raced skips, %d errors\n",
+		float64(st.MigratedBytes)/1e6, st.RacedSkips, st.Errors)
 }
 
 func (c *ctl) scrub(repair bool) {

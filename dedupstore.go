@@ -54,6 +54,13 @@ type (
 	Client = core.Client
 	// Config configures the dedup store.
 	Config = core.Config
+	// TieringConfig tunes adaptive redundancy (Config.Tiering).
+	TieringConfig = core.TieringConfig
+	// TierStats counts the tiering subsystem's work (Store.TierStats).
+	TierStats = core.TierStats
+	// TierCensus is the per-temperature population snapshot of the last
+	// policy pass (Store.TierCensus).
+	TierCensus = core.TierCensus
 	// BlockDevice is an RBD-like virtual disk striped over objects.
 	BlockDevice = client.BlockDevice
 	// CostParams is the simulated-hardware cost model.
@@ -151,6 +158,10 @@ func NewTenantBlockDevice(name string, size, objectSize int64, cl *Client, tn *T
 // DefaultConfig returns the paper's evaluation configuration (32 KiB static
 // chunks, replicated ×2 pools, post-processing with rate control).
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultTiering returns an enabled adaptive-redundancy configuration
+// (assign to Config.Tiering before OpenStore).
+var DefaultTiering = core.DefaultTiering
 
 // OpenStore creates the metadata/chunk pools on a cluster and returns the
 // dedup store.

@@ -150,7 +150,7 @@ func (s *Store) Audit(p *sim.Proc) (AuditStats, error) {
 			ref := Ref{Pool: s.meta.ID, OID: oid, Offset: e.Start}
 			var promoted, repaired, fixed bool
 			err := retryUnavailable(p, func() error {
-				return gw.Mutate(p, s.chunk, e.ChunkID, auditBindingFn(ref, &promoted, &repaired, &fixed))
+				return gw.Mutate(p, s.chunkPoolFor(e.Cold), e.ChunkID, auditBindingFn(ref, &promoted, &repaired, &fixed))
 			})
 			if errors.Is(err, ErrNotFound) {
 				if !e.Cached {

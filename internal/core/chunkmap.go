@@ -31,6 +31,11 @@ type Entry struct {
 	ChunkID    string // content fingerprint; "" until first flush
 	Cached     bool   // chunk bytes live in the metadata object's data part
 	Dirty      bool   // chunk must be (re-)deduplicated
+	// Cold marks the binding as living in the erasure-coded (cold) chunk
+	// pool rather than the replicated one. Only the adaptive tiering policy
+	// sets it; with tiering off every binding is warm and the bit stays 0,
+	// so serialized maps are byte-identical to the pre-tiering format.
+	Cold bool
 	// Gen increments on every client write to the slot. The background
 	// engine clears the dirty bit only if Gen is unchanged since it read the
 	// chunk, so a write that races with a flush keeps the slot dirty.
@@ -156,6 +161,9 @@ func (m *ChunkMap) Marshal() []byte {
 		if e.Dirty {
 			flags |= 2
 		}
+		if e.Cold {
+			flags |= 4
+		}
 		rec = append(rec, flags)
 		if len(e.ChunkID) > 255 {
 			panic("core: chunk id too long")
@@ -195,6 +203,7 @@ func UnmarshalChunkMap(b []byte) (*ChunkMap, error) {
 		flags := rec[20]
 		e.Cached = flags&1 != 0
 		e.Dirty = flags&2 != 0
+		e.Cold = flags&4 != 0
 		idLen := int(rec[21])
 		if 22+idLen > EntryOverhead {
 			return nil, ErrCorruptMap

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dedupstore/internal/hitset"
 	"dedupstore/internal/metrics"
 	"dedupstore/internal/qos"
 	"dedupstore/internal/rados"
@@ -415,13 +416,23 @@ func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid
 	newID := FingerprintID(data)
 	ref := Ref{Pool: s.meta.ID, OID: oid, Offset: entry.Start}
 
+	// Adaptive tiering: the flush lands the chunk in the pool the object's
+	// temperature selects — cold objects erasure-code, everything else
+	// replicates. With tiering off, cold is always false and newPool is the
+	// single chunk pool, preserving the static design exactly.
+	cold := s.cfg.Tiering.Enabled && s.cache.Temp(p.Now(), oid) == hitset.TempCold
+	newPool := s.chunkPoolFor(cold)
+
 	// Phase 1: intent + chunk write at the content-addressed location. When
-	// the slot already points at the right chunk (same content rewritten) no
-	// chunk-pool I/O happens, so it must not count as a flush.
+	// the slot already points at the right chunk in the right pool (same
+	// content rewritten) no chunk-pool I/O happens, so it must not count as
+	// a flush. A same-ID, different-pool slot is a real move: both pools may
+	// hold a chunk under the same fingerprint while objects migrate.
+	samePlace := entry.ChunkID == newID && entry.Cold == cold
 	var intent intentOutcome
-	if entry.ChunkID != newID {
-		existedBefore, _ := gw.Exists(p, s.chunk, newID)
-		if err := gw.MutateWithPayload(p, s.chunk, newID, len(data), putIntentFn(data, ref, e.leaseExpiry(p), &intent)); err != nil {
+	if !samePlace {
+		existedBefore, _ := gw.Exists(p, newPool, newID)
+		if err := gw.MutateWithPayload(p, newPool, newID, len(data), putIntentFn(data, ref, e.leaseExpiry(p), &intent)); err != nil {
 			return false, err
 		}
 		if existedBefore {
@@ -464,6 +475,7 @@ func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid
 		cs.ChunkID = newID
 		cs.Dirty = false
 		cs.Cached = keepCached
+		cs.Cold = cold
 		cur.Entries[i] = cs
 		txn := store.NewTxn().SetXattr(XattrChunkMap, cur.Marshal())
 		if !keepCached {
@@ -477,8 +489,8 @@ func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid
 		// Roll phase 1 back: the binding never landed, so the intent must
 		// not become a reference. Best-effort — if this mutation is lost to
 		// a crash, the lease expiry lets GC/audit abort it instead.
-		if entry.ChunkID != newID && !intent.committed {
-			if aerr := gw.Mutate(p, s.chunk, newID, abortIntentFn(ref, !s.cfg.FalsePositiveRefs)); aerr != nil && !errors.Is(aerr, ErrNotFound) && err == nil {
+		if !samePlace && !intent.committed {
+			if aerr := gw.Mutate(p, newPool, newID, abortIntentFn(ref, !s.cfg.FalsePositiveRefs)); aerr != nil && !errors.Is(aerr, ErrNotFound) && err == nil {
 				return raced, aerr
 			}
 		}
@@ -488,9 +500,9 @@ func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid
 	// Phase 3: commit the intent into a counted reference. On persistent
 	// failure the binding already exists, so GC/audit will promote the
 	// expired intent — the protocol converges either way.
-	if entry.ChunkID != newID && !intent.committed {
+	if !samePlace && !intent.committed {
 		if cerr := retryUnavailable(p, func() error {
-			return gw.Mutate(p, s.chunk, newID, commitIntentFn(ref))
+			return gw.Mutate(p, newPool, newID, commitIntentFn(ref))
 		}); cerr != nil && !errors.Is(cerr, ErrNotFound) {
 			return false, cerr
 		}
@@ -498,13 +510,14 @@ func (e *Engine) flushChunk(p *sim.Proc, gw *rados.Gateway, hostName string, oid
 
 	// De-reference the chunk the slot previously pointed at — after the
 	// binding swap, so no window exists where the chunk map points at a
-	// chunk whose reference was already dropped.
-	if entry.ChunkID != "" && entry.ChunkID != newID {
+	// chunk whose reference was already dropped. The old binding's pool may
+	// differ from the new one (a cross-pool move via re-flush).
+	if entry.ChunkID != "" && !samePlace {
 		fn := decRefFn(ref)
 		if s.cfg.FalsePositiveRefs {
 			fn = dropRefFn(ref)
 		}
-		if derr := gw.Mutate(p, s.chunk, entry.ChunkID, fn); derr != nil && !errors.Is(derr, ErrNotFound) {
+		if derr := gw.Mutate(p, s.chunkPoolFor(entry.Cold), entry.ChunkID, fn); derr != nil && !errors.Is(derr, ErrNotFound) {
 			return false, derr
 		}
 	}

@@ -151,18 +151,31 @@ func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 	sp := s.cluster.Trace().Start(p, "dedup.gc").SetClass(qos.GC.String())
 	defer sp.Finish(p)
 	gw := s.hostGWClass(anyHost(s), qos.GC)
-	for _, chunkOID := range s.cluster.ListObjects(s.chunk) {
+	for _, cpool := range s.chunkPools() {
+		if err := s.gcPool(p, gw, cpool, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// gcPool runs the mark-and-sweep over one chunk pool. With tiering on, the
+// same fingerprint may exist in both the warm and the cold pool while
+// objects migrate; liveness is therefore judged per (chunk, pool) — a
+// binding keeps a chunk alive only in the pool its Cold bit selects.
+func (s *Store) gcPool(p *sim.Proc, gw *rados.Gateway, cpool *rados.Pool, stats *GCStats) error {
+	for _, chunkOID := range s.cluster.ListObjects(cpool) {
 		stats.ChunksScanned++
 
 		// Mark: snapshot the reference state under the PG lock, then verify
 		// each reference/intent against the (other-pool) chunk maps outside
 		// the lock.
 		var snap chunkSnapshot
-		if err := snapshotChunk(p, gw, s.chunk, chunkOID, &snap); err != nil {
+		if err := snapshotChunk(p, gw, cpool, chunkOID, &snap); err != nil {
 			if errors.Is(err, ErrNotFound) {
 				continue
 			}
-			return stats, err
+			return err
 		}
 		if !snap.exists {
 			continue
@@ -175,7 +188,7 @@ func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 				continue
 			}
 			stats.RefsChecked++
-			if s.refIsLive(p, gw, ref, chunkOID) {
+			if s.refIsLive(p, gw, ref, cpool, chunkOID) {
 				dec.liveRefs++
 			} else {
 				dec.staleRefs = append(dec.staleRefs, key)
@@ -191,7 +204,7 @@ func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 				dec.keepintent++ // lease still running: the flush owns it
 				continue
 			}
-			live, reachable := s.refLiveness(p, gw, ref, chunkOID)
+			live, reachable := s.refLiveness(p, gw, ref, cpool, chunkOID)
 			switch {
 			case !reachable:
 				dec.keepintent++ // verify next pass, never reconcile blind
@@ -222,7 +235,7 @@ func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 		var reclaimed int64
 		err := retryUnavailable(p, func() error {
 			raced, deleted, countFixed, reclaimed = false, false, false, 0
-			return gw.Mutate(p, s.chunk, chunkOID, func(v rados.View) (*store.Txn, error) {
+			return gw.Mutate(p, cpool, chunkOID, func(v rados.View) (*store.Txn, error) {
 				if !v.Exists() {
 					return nil, nil
 				}
@@ -281,7 +294,7 @@ func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 			})
 		})
 		if err != nil && !errors.Is(err, ErrNotFound) {
-			return stats, err
+			return err
 		}
 		if raced {
 			stats.RacedSkips++
@@ -299,23 +312,23 @@ func (s *Store) GC(p *sim.Proc) (GCStats, error) {
 			stats.BytesReclaimed += reclaimed
 		}
 	}
-	return stats, nil
+	return nil
 }
 
 // refIsLive verifies a back reference: the source metadata object's chunk
-// map must still bind that offset to this chunk. Unreachable sources count
-// as live (conservative).
-func (s *Store) refIsLive(p *sim.Proc, gw *rados.Gateway, ref Ref, chunkOID string) bool {
-	live, reachable := s.refLiveness(p, gw, ref, chunkOID)
+// map must still bind that offset to this chunk in this pool. Unreachable
+// sources count as live (conservative).
+func (s *Store) refIsLive(p *sim.Proc, gw *rados.Gateway, ref Ref, cpool *rados.Pool, chunkOID string) bool {
+	live, reachable := s.refLiveness(p, gw, ref, cpool, chunkOID)
 	return live || !reachable
 }
 
 // refLiveness checks whether the source chunk map binds ref.Offset to this
-// chunk. reachable=false means the source PG could not be consulted (e.g. a
-// crash window longer than the retry budget): the caller must keep the
-// reference — treating "unreachable" as "gone" would delete a chunk live
-// data points at.
-func (s *Store) refLiveness(p *sim.Proc, gw *rados.Gateway, ref Ref, chunkOID string) (live, reachable bool) {
+// chunk in this pool. reachable=false means the source PG could not be
+// consulted (e.g. a crash window longer than the retry budget): the caller
+// must keep the reference — treating "unreachable" as "gone" would delete a
+// chunk live data points at.
+func (s *Store) refLiveness(p *sim.Proc, gw *rados.Gateway, ref Ref, cpool *rados.Pool, chunkOID string) (live, reachable bool) {
 	if ref.Pool != s.meta.ID {
 		return false, true
 	}
@@ -340,7 +353,15 @@ func (s *Store) refLiveness(p *sim.Proc, gw *rados.Gateway, ref Ref, chunkOID st
 		return false, true
 	}
 	e := cm.Entries[i]
-	// A dirty slot may still be mid-flush toward this chunk; keep the ref
-	// conservatively (false positives delay reclamation, never corrupt).
-	return e.ChunkID == chunkOID || e.Dirty, true
+	// A dirty slot may still be mid-flush toward this chunk — in either
+	// pool, since the flush's pool choice depends on the object's current
+	// temperature; keep the ref conservatively (false positives delay
+	// reclamation, never corrupt). A clean binding keeps the chunk alive
+	// only in the pool its Cold bit selects: during a migration the same
+	// fingerprint exists in both pools, and the copy the binding moved away
+	// from must be collectable.
+	if e.Dirty {
+		return true, true
+	}
+	return e.ChunkID == chunkOID && s.chunkPoolFor(e.Cold) == cpool, true
 }

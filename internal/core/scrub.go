@@ -49,87 +49,16 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 
 	// 1. Chunk objects: content must hash to the object ID (the double-
 	// hashing invariant) and the refcount must equal the back-ref count.
-	for _, chunkOID := range s.cluster.ListObjects(s.chunk) {
-		rep.ChunkObjects++
-		var data []byte
-		err := retryUnavailable(p, func() error {
-			var e error
-			data, e = gw.Read(p, s.chunk, chunkOID, 0, -1)
-			return e
-		})
-		if err != nil {
-			if errors.Is(err, ErrNotFound) {
-				continue // deleted concurrently
-			}
+	// With tiering on, both the warm and the cold pool hold chunk objects
+	// and each is verified against the same invariants.
+	for _, cpool := range s.chunkPools() {
+		if err := s.scrubChunkPool(p, gw, cpool, &rep); err != nil {
 			return rep, err
-		}
-		host, herr := s.cluster.PrimaryHost(s.chunk, chunkOID)
-		if herr == nil {
-			if err := s.cluster.UseHostCPU(p, host, s.cluster.Cost().Hash(len(data))); err != nil {
-				return rep, err
-			}
-		}
-		rep.BytesVerified += int64(len(data))
-		if got := FingerprintID(data); got != chunkOID {
-			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "content does not match fingerprint (bit rot)"})
-		}
-		var refs []string
-		err = retryUnavailable(p, func() error {
-			var e error
-			refs, e = gw.OmapList(p, s.chunk, chunkOID, 0)
-			return e
-		})
-		if err != nil && !errors.Is(err, ErrNotFound) {
-			return rep, err
-		}
-		// Partition the omap into committed references and in-flight intents:
-		// only committed references are counted, and every key must parse
-		// back to the Ref that wrote it (an unparseable key is invisible to
-		// GC and would pin the chunk forever).
-		committed := 0
-		for _, k := range refs {
-			switch {
-			case isRefKey(k):
-				committed++
-				if _, ok := parseRefKey(k); !ok {
-					rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "unparseable reference key " + k})
-				}
-			case isIntentKey(k):
-				if _, ok := parseIntentKey(k); !ok {
-					rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "unparseable intent key " + k})
-				}
-			default:
-				rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "unknown omap key " + k})
-			}
-		}
-		var rcRaw []byte
-		err = retryUnavailable(p, func() error {
-			var e error
-			rcRaw, e = gw.GetXattr(p, s.chunk, chunkOID, XattrRefCount)
-			return e
-		})
-		if rados.IsUnavailable(err) {
-			// Unreachable is not the same as missing: report the pass as
-			// failed rather than log a phantom inconsistency.
-			return rep, err
-		}
-		if err != nil {
-			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "missing refcount xattr"})
-			continue
-		}
-		rc, _, ok := decodeRC(rcRaw)
-		if !ok {
-			// A short or garbled dedup.rc used to silently read as count 0;
-			// now it is a first-class finding (GC rebuilds it from the omap).
-			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "corrupt refcount xattr"})
-			continue
-		}
-		if int(rc) != committed {
-			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "refcount disagrees with reference table"})
 		}
 	}
 
-	// 2. Metadata objects: every flushed entry must point at a live chunk.
+	// 2. Metadata objects: every flushed entry must point at a live chunk in
+	// the pool its Cold bit selects.
 	for _, oid := range s.cluster.ListObjects(s.meta) {
 		if IsSystemObject(oid) {
 			continue
@@ -166,7 +95,7 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 			var ok bool
 			err := retryUnavailable(p, func() error {
 				var e2 error
-				ok, e2 = gw.Exists(p, s.chunk, e.ChunkID)
+				ok, e2 = gw.Exists(p, s.chunkPoolFor(e.Cold), e.ChunkID)
 				return e2
 			})
 			if err != nil {
@@ -178,4 +107,88 @@ func (s *Store) Scrub(p *sim.Proc) (ScrubReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// scrubChunkPool verifies the chunk objects of one chunk pool.
+func (s *Store) scrubChunkPool(p *sim.Proc, gw *rados.Gateway, cpool *rados.Pool, rep *ScrubReport) error {
+	for _, chunkOID := range s.cluster.ListObjects(cpool) {
+		rep.ChunkObjects++
+		var data []byte
+		err := retryUnavailable(p, func() error {
+			var e error
+			data, e = gw.Read(p, cpool, chunkOID, 0, -1)
+			return e
+		})
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted concurrently
+			}
+			return err
+		}
+		host, herr := s.cluster.PrimaryHost(cpool, chunkOID)
+		if herr == nil {
+			if err := s.cluster.UseHostCPU(p, host, s.cluster.Cost().Hash(len(data))); err != nil {
+				return err
+			}
+		}
+		rep.BytesVerified += int64(len(data))
+		if got := FingerprintID(data); got != chunkOID {
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "content does not match fingerprint (bit rot)"})
+		}
+		var refs []string
+		err = retryUnavailable(p, func() error {
+			var e error
+			refs, e = gw.OmapList(p, cpool, chunkOID, 0)
+			return e
+		})
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		// Partition the omap into committed references and in-flight intents:
+		// only committed references are counted, and every key must parse
+		// back to the Ref that wrote it (an unparseable key is invisible to
+		// GC and would pin the chunk forever).
+		committed := 0
+		for _, k := range refs {
+			switch {
+			case isRefKey(k):
+				committed++
+				if _, ok := parseRefKey(k); !ok {
+					rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "unparseable reference key " + k})
+				}
+			case isIntentKey(k):
+				if _, ok := parseIntentKey(k); !ok {
+					rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "unparseable intent key " + k})
+				}
+			default:
+				rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "unknown omap key " + k})
+			}
+		}
+		var rcRaw []byte
+		err = retryUnavailable(p, func() error {
+			var e error
+			rcRaw, e = gw.GetXattr(p, cpool, chunkOID, XattrRefCount)
+			return e
+		})
+		if rados.IsUnavailable(err) {
+			// Unreachable is not the same as missing: report the pass as
+			// failed rather than log a phantom inconsistency.
+			return err
+		}
+		if err != nil {
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "missing refcount xattr"})
+			continue
+		}
+		rc, _, ok := decodeRC(rcRaw)
+		if !ok {
+			// A short or garbled dedup.rc used to silently read as count 0;
+			// now it is a first-class finding (GC rebuilds it from the omap).
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "corrupt refcount xattr"})
+			continue
+		}
+		if int(rc) != committed {
+			rep.Issues = append(rep.Issues, ScrubIssue{OID: chunkOID, Detail: "refcount disagrees with reference table"})
+		}
+	}
+	return nil
 }

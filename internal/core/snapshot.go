@@ -54,7 +54,7 @@ func (cl *Client) Snapshot(p *sim.Proc, srcOID, dstOID string) error {
 	taken := make([]Ref, 0, len(cm.Entries))
 	for _, entry := range cm.Entries {
 		ref := Ref{Pool: s.meta.ID, OID: dstOID, Offset: entry.Start}
-		err := cl.gw.Mutate(p, s.chunk, entry.ChunkID, func(v rados.View) (*store.Txn, error) {
+		err := cl.gw.Mutate(p, s.chunkPoolFor(entry.Cold), entry.ChunkID, func(v rados.View) (*store.Txn, error) {
 			if !v.Exists() {
 				return nil, fmt.Errorf("core: chunk %s vanished during snapshot", entry.ChunkID)
 			}
@@ -72,7 +72,10 @@ func (cl *Client) Snapshot(p *sim.Proc, srcOID, dstOID string) error {
 		if err != nil {
 			// Roll back the references taken so far.
 			for _, r := range taken {
-				_ = cl.gw.Mutate(p, s.chunk, chunkIDForRollback(cm, r.Offset), decRefFn(r))
+				if i := cm.Find(r.Offset); i >= 0 {
+					src := cm.Entries[i]
+					_ = cl.gw.Mutate(p, s.chunkPoolFor(src.Cold), src.ChunkID, decRefFn(r))
+				}
 			}
 			return err
 		}
@@ -90,11 +93,4 @@ func (cl *Client) Snapshot(p *sim.Proc, srcOID, dstOID string) error {
 	return cl.gw.Mutate(p, s.meta, dstOID, func(rados.View) (*store.Txn, error) {
 		return store.NewTxn().Create().SetXattr(XattrChunkMap, clone.Marshal()), nil
 	})
-}
-
-func chunkIDForRollback(cm *ChunkMap, offset int64) string {
-	if i := cm.Find(offset); i >= 0 {
-		return cm.Entries[i].ChunkID
-	}
-	return ""
 }

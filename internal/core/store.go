@@ -51,6 +51,34 @@ func DefaultRate() RateConfig {
 	return RateConfig{Enabled: true, LowIOPS: 1000, HighIOPS: 4000, OpsPerDedupAboveHigh: 500, OpsPerDedupMid: 100}
 }
 
+// TieringConfig configures adaptive redundancy: hotness-driven per-object
+// placement across replication, EC, and dedup. Off by default — the zero
+// value leaves the store exactly as the paper's static two-pool design.
+type TieringConfig struct {
+	// Enabled turns the subsystem on: a third (cold, erasure-coded) chunk
+	// pool is created, the flush engine lands chunks by temperature, and the
+	// policy daemon migrates objects whose temperature drifted from their
+	// placement. Requires ModePostProcess and static chunking.
+	Enabled bool
+	// ColdPoolName names the EC chunk pool (default "chunkcold").
+	ColdPoolName string
+	// ColdRedundancy is the cold pool's protection (default EC 2+1).
+	ColdRedundancy rados.Redundancy
+	// ColdDeviceClass pins the cold pool to a device class ("" = any).
+	ColdDeviceClass string
+	// Interval is the policy daemon's pass period (default 1s).
+	Interval time.Duration
+	// MaxMigrationsPerPass caps chunk moves (promote+demote) per daemon
+	// pass, bounding the background load one pass may create; 0 = unlimited.
+	MaxMigrationsPerPass int
+}
+
+// DefaultTiering returns an enabled tiering config with the defaults
+// documented on TieringConfig.
+func DefaultTiering() TieringConfig {
+	return TieringConfig{Enabled: true}
+}
+
 // Config configures a dedup Store.
 type Config struct {
 	// ChunkSize is the static chunking size (paper default 32 KiB, §6.1).
@@ -103,6 +131,11 @@ type Config struct {
 	// over chunk fingerprints). Zero value (Enabled=false) keeps the flat
 	// in-memory map, so existing behavior and goldens are unchanged.
 	FPIndex fpindex.Config
+	// Tiering enables adaptive redundancy (hot → replicated+undeduplicated,
+	// warm → replicated+dedup, cold → EC+dedup). Zero value (Enabled=false)
+	// keeps the static two-pool design, so existing behavior and goldens
+	// are unchanged.
+	Tiering TieringConfig
 }
 
 // DefaultConfig mirrors the paper's evaluation setup: 32 KiB static chunks,
@@ -132,13 +165,15 @@ var ErrNotFound = rados.ErrNotFound
 // Store is the deduplicating object store: the paper's design layered on an
 // unmodified scale-out substrate.
 type Store struct {
-	cluster *rados.Cluster
-	cfg     Config
-	meta    *rados.Pool
-	chunk   *rados.Pool
-	chk     chunker.Fixed
-	cache   *CacheManager
-	engine  *Engine
+	cluster   *rados.Cluster
+	cfg       Config
+	meta      *rados.Pool
+	chunk     *rados.Pool // replicated (warm) chunk pool
+	coldChunk *rados.Pool // erasure-coded (cold) chunk pool; nil unless tiering
+	chk       chunker.Fixed
+	cache     *TieringPolicy
+	engine    *Engine
+	tier      tierState
 
 	hostGWs  map[string]*rados.Gateway // keyed class|host: one internal gateway per QoS class per host
 	objLocks map[string]*sim.Resource  // inline-mode per-object write locks
@@ -167,6 +202,23 @@ func Open(cluster *rados.Cluster, cfg Config) (*Store, error) {
 	}
 	if cfg.CDC != nil && cfg.Mode != ModePostProcess {
 		return nil, errors.New("core: CDC requires post-processing mode")
+	}
+	if cfg.Tiering.Enabled {
+		if cfg.Mode != ModePostProcess {
+			return nil, errors.New("core: tiering requires post-processing mode")
+		}
+		if cfg.CDC != nil {
+			return nil, errors.New("core: tiering requires static chunking (no CDC)")
+		}
+		if cfg.Tiering.ColdPoolName == "" {
+			cfg.Tiering.ColdPoolName = "chunkcold"
+		}
+		if cfg.Tiering.ColdRedundancy == (rados.Redundancy{}) {
+			cfg.Tiering.ColdRedundancy = rados.ErasureKM(2, 1)
+		}
+		if cfg.Tiering.Interval <= 0 {
+			cfg.Tiering.Interval = time.Second
+		}
 	}
 	if cfg.ScanInterval <= 0 {
 		cfg.ScanInterval = 50 * time.Millisecond
@@ -199,9 +251,18 @@ func Open(cluster *rados.Cluster, cfg Config) (*Store, error) {
 		meta:     meta,
 		chunk:    chunk,
 		chk:      chunker.NewFixed(cfg.ChunkSize),
-		cache:    NewCacheManager(cfg.HitSet, cfg.KeepCachedWhenHot),
+		cache:    NewTieringPolicy(cfg.HitSet, cfg.KeepCachedWhenHot, cfg.Tiering.Enabled),
 		hostGWs:  make(map[string]*rados.Gateway),
 		objLocks: make(map[string]*sim.Resource),
+	}
+	if cfg.Tiering.Enabled {
+		s.coldChunk, err = cluster.CreatePool(rados.PoolConfig{
+			Name: cfg.Tiering.ColdPoolName, PGNum: cfg.PGNum, Redundancy: cfg.Tiering.ColdRedundancy,
+			DeviceClass: cfg.Tiering.ColdDeviceClass,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: create cold chunk pool: %w", err)
+		}
 	}
 	s.cache.AttachRegistry(cluster.Metrics())
 	s.engine = newEngine(s)
@@ -217,8 +278,29 @@ func (s *Store) Config() Config { return s.cfg }
 // MetaPool returns the metadata pool.
 func (s *Store) MetaPool() *rados.Pool { return s.meta }
 
-// ChunkPool returns the chunk pool.
+// ChunkPool returns the replicated (warm) chunk pool.
 func (s *Store) ChunkPool() *rados.Pool { return s.chunk }
+
+// ColdChunkPool returns the erasure-coded chunk pool (nil unless tiering is
+// enabled).
+func (s *Store) ColdChunkPool() *rados.Pool { return s.coldChunk }
+
+// chunkPoolFor maps a binding's Cold bit to the pool holding the chunk.
+func (s *Store) chunkPoolFor(cold bool) *rados.Pool {
+	if cold && s.coldChunk != nil {
+		return s.coldChunk
+	}
+	return s.chunk
+}
+
+// chunkPools lists the chunk pools in deterministic order (warm, then cold
+// when tiering is on) for passes that walk every chunk object (GC, scrub).
+func (s *Store) chunkPools() []*rados.Pool {
+	if s.coldChunk != nil {
+		return []*rados.Pool{s.chunk, s.coldChunk}
+	}
+	return []*rados.Pool{s.chunk}
+}
 
 // Engine returns the background dedup engine.
 func (s *Store) Engine() *Engine { return s.engine }
@@ -381,7 +463,7 @@ func (cl *Client) write(p *sim.Proc, oid string, off int64, data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
-	s.cache.RecordAccess(p.Now(), oid)
+	s.cache.RecordAccessTenant(p.Now(), oid, cl.tenant)
 
 	if s.cfg.Mode == ModeInline {
 		return cl.inlineWrite(p, oid, off, data)
@@ -409,7 +491,7 @@ func (cl *Client) write(p *sim.Proc, oid string, off int64, data []byte) error {
 			if e.Cached || e.ChunkID == "" || (off <= e.Start && end >= e.End) {
 				continue
 			}
-			chunkData, err := proxyGW.Read(p, s.chunk, e.ChunkID, 0, e.Len())
+			chunkData, err := proxyGW.Read(p, s.chunkPoolFor(e.Cold), e.ChunkID, 0, e.Len())
 			if err != nil {
 				return nil, fmt.Errorf("core: pre-read chunk %s: %w", e.ChunkID, err)
 			}
@@ -476,7 +558,7 @@ func (cl *Client) Read(p *sim.Proc, oid string, off, length int64) ([]byte, erro
 
 func (cl *Client) read(p *sim.Proc, oid string, off, length int64) ([]byte, error) {
 	s := cl.s
-	s.cache.RecordAccess(p.Now(), oid)
+	s.cache.RecordAccessTenant(p.Now(), oid, cl.tenant)
 	// The chunk-map lookup happens at the metadata primary as part of
 	// serving the read (§4.5 read steps 2-3); the request hop is charged
 	// here, the map lookup rides the data ops below.
@@ -530,7 +612,7 @@ func (cl *Client) read(p *sim.Proc, oid string, off, length int64) ([]byte, erro
 		// forwards to the client.
 		proxied += int(rEnd - rStart)
 		sigs = append(sigs, p.Go("read-redirect", func(q *sim.Proc) {
-			data, err := proxyGW.Read(q, s.chunk, e.ChunkID, rStart-e.Start, rEnd-rStart)
+			data, err := proxyGW.Read(q, s.chunkPoolFor(e.Cold), e.ChunkID, rStart-e.Start, rEnd-rStart)
 			if err != nil {
 				firstErr = fmt.Errorf("core: chunk %s: %w", e.ChunkID, err)
 				return
@@ -588,7 +670,7 @@ func (cl *Client) delete(p *sim.Proc, oid string) error {
 		if s.cfg.FalsePositiveRefs {
 			fn = dropRefFn(ref)
 		}
-		if err := cl.gw.Mutate(p, s.chunk, e.ChunkID, fn); err != nil && !errors.Is(err, ErrNotFound) {
+		if err := cl.gw.Mutate(p, s.chunkPoolFor(e.Cold), e.ChunkID, fn); err != nil && !errors.Is(err, ErrNotFound) {
 			return err
 		}
 	}

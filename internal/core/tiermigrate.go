@@ -1,0 +1,340 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dedupstore/internal/qos"
+	"dedupstore/internal/rados"
+	"dedupstore/internal/sim"
+	"dedupstore/internal/store"
+)
+
+// Migration executors: the I/O half of adaptive redundancy. Each executor
+// advances one object a single step toward its target form; the policy
+// daemon re-walks objects every pass, so multi-step transitions converge
+// across passes. Chunk moves between pools ride the same two-phase
+// intent-logged reference protocol as the flush (refcount.go), so a crash
+// anywhere mid-migration leaves only state GC and the audit pass already
+// know how to reconcile — no new crash windows, no stale references.
+
+// recacheObject promotes an object to its hot form: every clean bound
+// slot's bytes are read back into the metadata object, the binding is
+// dropped (ChunkID="") and the chunk de-referenced. Slots that still hold a
+// cached copy (flushed while hot) skip the read — only the binding changes.
+//
+// Crash windows: the binding swap is one metadata-pool transaction, and a
+// slot without a binding holds no reference, so a crash after the swap but
+// before the de-reference leaves a stale reference on the chunk — exactly
+// the state GC's mark pass detects (binding gone → reference dead) and
+// sweeps.
+func (s *Store) recacheObject(p *sim.Proc, gw *rados.Gateway, oid string, cm *ChunkMap, ps *TierStats) error {
+	// Read the chunk bytes of every uncached bound slot first, outside the
+	// metadata object's PG lock.
+	type fill struct {
+		e    Entry
+		data []byte
+	}
+	var fills []fill
+	for _, e := range cm.Entries {
+		if e.Dirty || e.ChunkID == "" || e.Cached {
+			continue
+		}
+		s.cluster.QoS().WaitTurn(p, qos.Tiering)
+		data, err := gw.Read(p, s.chunkPoolFor(e.Cold), e.ChunkID, 0, e.Len())
+		if err != nil {
+			return fmt.Errorf("core: recache read chunk %s: %w", e.ChunkID, err)
+		}
+		if int64(len(data)) < e.Len() {
+			data = append(data, make([]byte, e.Len()-int64(len(data)))...)
+		}
+		fills = append(fills, fill{e: e, data: data})
+	}
+	payload := 0
+	for _, f := range fills {
+		payload += len(f.data)
+	}
+
+	// Swap every binding in one transaction, re-checking each slot under the
+	// PG lock: a raced slot (newer write, new binding, or gone) is skipped
+	// and left to the engine. Collect the old bindings actually swapped so
+	// only their references are dropped.
+	var swapped []Entry
+	err := gw.MutateWithPayload(p, s.meta, oid, payload, func(v rados.View) (*store.Txn, error) {
+		swapped = swapped[:0]
+		cur, err := loadChunkMap(v)
+		if err != nil {
+			return nil, err
+		}
+		txn := store.NewTxn()
+		changed := false
+		recheck := func(e Entry) (Entry, int, bool) {
+			i := cur.Find(e.Start)
+			if i < 0 {
+				return Entry{}, -1, false
+			}
+			cs := cur.Entries[i]
+			if cs.Gen != e.Gen || cs.ChunkID != e.ChunkID || cs.Cold != e.Cold || cs.Dirty {
+				return Entry{}, -1, false
+			}
+			return cs, i, true
+		}
+		for _, f := range fills {
+			cs, i, ok := recheck(f.e)
+			if !ok {
+				ps.RacedSkips++
+				continue
+			}
+			txn.Write(cs.Start, f.data)
+			swapped = append(swapped, cs)
+			cs.Cached = true
+			cs.ChunkID = ""
+			cs.Cold = false
+			cs.Gen++
+			cur.Entries[i] = cs
+			changed = true
+			ps.RecachedBytes += int64(len(f.data))
+		}
+		// Cached-bound slots: the bytes are already in place; just unbind.
+		for _, e := range cm.Entries {
+			if e.Dirty || e.ChunkID == "" || !e.Cached {
+				continue
+			}
+			cs, i, ok := recheck(e)
+			if !ok {
+				ps.RacedSkips++
+				continue
+			}
+			swapped = append(swapped, cs)
+			cs.ChunkID = ""
+			cs.Cold = false
+			cs.Gen++
+			cur.Entries[i] = cs
+			changed = true
+		}
+		if !changed {
+			return nil, nil
+		}
+		txn.SetXattr(XattrChunkMap, cur.Marshal())
+		return txn, nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(swapped) == 0 {
+		return nil
+	}
+	ps.Recaches++
+	if s.tier.hookAfterBind != nil && s.tier.hookAfterBind(oid, swapped[0]) {
+		return errCrash // stale refs on the chunks; GC sweeps them
+	}
+	// De-reference the old bindings — after the swap, so no window exists
+	// where a binding points at a chunk whose reference is already gone.
+	for _, old := range swapped {
+		ref := Ref{Pool: s.meta.ID, OID: oid, Offset: old.Start}
+		fn := decRefFn(ref)
+		if s.cfg.FalsePositiveRefs {
+			fn = dropRefFn(ref)
+		}
+		if derr := gw.Mutate(p, s.chunkPoolFor(old.Cold), old.ChunkID, fn); derr != nil && !errors.Is(derr, ErrNotFound) {
+			return derr
+		}
+	}
+	return nil
+}
+
+// rededupObject demotes a hot-form object: clean cached-only slots are
+// marked dirty again (keeping the cached bytes — they are the data) and the
+// object goes back on the dirty list, so the ordinary flush engine
+// re-deduplicates it, landing chunks in the pool its current temperature
+// selects. No references move here, so there is nothing to crash.
+func (s *Store) rededupObject(p *sim.Proc, gw *rados.Gateway, oid string, ps *TierStats) error {
+	marked := false
+	err := gw.Mutate(p, s.meta, oid, func(v rados.View) (*store.Txn, error) {
+		marked = false
+		cur, err := loadChunkMap(v)
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range cur.Entries {
+			if e.Dirty || !e.Cached || e.ChunkID != "" {
+				continue
+			}
+			e.Dirty = true
+			e.Gen++
+			cur.Entries[i] = e
+			marked = true
+		}
+		if !marked {
+			return nil, nil
+		}
+		return store.NewTxn().SetXattr(XattrChunkMap, cur.Marshal()), nil
+	})
+	if err != nil || !marked {
+		return err
+	}
+	ps.Rededups++
+	return retryUnavailable(p, func() error {
+		return gw.Mutate(p, s.meta, s.dirtyListOID(oid), func(rados.View) (*store.Txn, error) {
+			return store.NewTxn().Create().OmapSet(oid, nil), nil
+		})
+	})
+}
+
+// evictObject drops the hot-time cached copies of an already-deduplicated
+// object (clean, bound, cached slots), reclaiming metadata-pool space — the
+// per-object form of the cache agent's EvictCold pass.
+func (s *Store) evictObject(p *sim.Proc, gw *rados.Gateway, oid string, ps *TierStats) error {
+	evicted := 0
+	err := gw.Mutate(p, s.meta, oid, func(v rados.View) (*store.Txn, error) {
+		evicted = 0
+		cur, err := loadChunkMap(v)
+		if err != nil {
+			return nil, err
+		}
+		txn := store.NewTxn()
+		for i, e := range cur.Entries {
+			if e.Dirty || !e.Cached || e.ChunkID == "" {
+				continue
+			}
+			cur.Entries[i].Cached = false
+			txn.Zero(e.Start, e.Len())
+			evicted++
+		}
+		if evicted == 0 {
+			return nil, nil
+		}
+		txn.SetXattr(XattrChunkMap, cur.Marshal())
+		return txn, nil
+	})
+	if err != nil || evicted == 0 {
+		return err
+	}
+	ps.Evicts++
+	ps.EvictedChunks += int64(evicted)
+	return nil
+}
+
+// migrateObjectChunks moves an object's clean, uncached chunk bindings into
+// the toCold pool, one chunk at a time, up to budget moves. Returns how
+// many chunks it moved (counted against the pass's migration budget even
+// when the move later raced).
+func (s *Store) migrateObjectChunks(p *sim.Proc, gw *rados.Gateway, oid string, cm *ChunkMap, toCold bool, budget int, ps *TierStats) (int, error) {
+	moved := 0
+	for _, e := range cm.Entries {
+		if e.Dirty || e.Cached || e.ChunkID == "" || e.Cold == toCold {
+			continue
+		}
+		if moved >= budget {
+			break
+		}
+		s.cluster.QoS().WaitTurn(p, qos.Tiering)
+		moved++
+		raced, err := s.migrateChunk(p, gw, oid, e, toCold)
+		if err != nil {
+			return moved, err
+		}
+		if raced {
+			ps.RacedSkips++
+			continue
+		}
+		if toCold {
+			ps.DemotedChunks++
+		} else {
+			ps.PromotedChunks++
+		}
+		ps.MigratedBytes += e.Len()
+	}
+	return moved, nil
+}
+
+// migrateChunk moves one binding between chunk pools with the same
+// two-phase, intent-logged reference update as the flush:
+//
+//	phase 1  record a reference intent on the destination pool's chunk
+//	         (creating it from the source copy if absent) with a lease;
+//	phase 2  flip the binding's Cold bit in the chunk map — unless a client
+//	         write raced — making the destination authoritative;
+//	phase 3  commit the intent, then de-reference the source pool's chunk.
+//
+// Crash after 1: no binding points at the destination; the intent expires
+// and GC/audit abort it. Crash after 2: the binding exists, the reference
+// is an expired intent; audit promotes it, and the source chunk's now-dead
+// reference (its binding points at the other pool) is swept by GC. Crash
+// mid-3: commit is idempotent; the stale source reference is GC'd. The same
+// fingerprint may transiently exist in both pools — each pool's copy has
+// its own reference table, and refLiveness judges each against the Cold bit.
+func (s *Store) migrateChunk(p *sim.Proc, gw *rados.Gateway, oid string, entry Entry, toCold bool) (raced bool, err error) {
+	src := s.chunkPoolFor(entry.Cold)
+	dst := s.chunkPoolFor(toCold)
+	data, err := gw.Read(p, src, entry.ChunkID, 0, entry.Len())
+	if err != nil {
+		return false, err
+	}
+	if int64(len(data)) < entry.Len() {
+		data = append(data, make([]byte, entry.Len()-int64(len(data)))...)
+	}
+	ref := Ref{Pool: s.meta.ID, OID: oid, Offset: entry.Start}
+
+	// Phase 1: intent + chunk write on the destination pool.
+	var intent intentOutcome
+	if err := gw.MutateWithPayload(p, dst, entry.ChunkID, len(data), putIntentFn(data, ref, s.engine.leaseExpiry(p), &intent)); err != nil {
+		return false, err
+	}
+	if s.tier.hookAfterIntent != nil && s.tier.hookAfterIntent(oid, entry) {
+		return false, errCrash // intent expires; GC/audit abort it
+	}
+
+	// Phase 2: flip the Cold bit — only if the slot is exactly as observed.
+	raced = false
+	err = gw.Mutate(p, s.meta, oid, func(v rados.View) (*store.Txn, error) {
+		cur, err := loadChunkMap(v)
+		if err != nil {
+			return nil, err
+		}
+		i := cur.Find(entry.Start)
+		if i < 0 {
+			raced = true
+			return nil, nil
+		}
+		cs := cur.Entries[i]
+		if cs.Gen != entry.Gen || cs.ChunkID != entry.ChunkID || cs.Cold != entry.Cold || cs.Dirty {
+			raced = true // newer write or concurrent re-flush; leave it be
+			return nil, nil
+		}
+		cs.Cold = toCold
+		cur.Entries[i] = cs
+		return store.NewTxn().SetXattr(XattrChunkMap, cur.Marshal()), nil
+	})
+	if err != nil || raced {
+		// Roll phase 1 back: the binding still names the source pool, so the
+		// destination intent must not become a reference. Best-effort — a
+		// lost abort is reconciled at lease expiry.
+		if !intent.committed {
+			if aerr := gw.Mutate(p, dst, entry.ChunkID, abortIntentFn(ref, !s.cfg.FalsePositiveRefs)); aerr != nil && !errors.Is(aerr, ErrNotFound) && err == nil {
+				return raced, aerr
+			}
+		}
+		return raced, err
+	}
+	if s.tier.hookAfterBind != nil && s.tier.hookAfterBind(oid, entry) {
+		return false, errCrash // audit promotes the intent; GC sweeps the source ref
+	}
+
+	// Phase 3: commit the destination reference, then drop the source one.
+	if !intent.committed {
+		if cerr := retryUnavailable(p, func() error {
+			return gw.Mutate(p, dst, entry.ChunkID, commitIntentFn(ref))
+		}); cerr != nil && !errors.Is(cerr, ErrNotFound) {
+			return false, cerr
+		}
+	}
+	fn := decRefFn(ref)
+	if s.cfg.FalsePositiveRefs {
+		fn = dropRefFn(ref)
+	}
+	if derr := gw.Mutate(p, src, entry.ChunkID, fn); derr != nil && !errors.Is(derr, ErrNotFound) {
+		return false, derr
+	}
+	return false, nil
+}

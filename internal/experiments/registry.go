@@ -81,6 +81,7 @@ func Registry() []Experiment {
 		NewExperiment("fpindex", FPIndexResult),
 		NewExperiment("scale", ScaleResult),
 		NewExperiment("tenants", TenantsResult),
+		NewExperiment("redundancy", RedundancyResult),
 	}
 }
 

@@ -54,11 +54,15 @@ const (
 	Scrub
 	// GC is chunk-pool garbage collection traffic.
 	GC
+	// Tiering is adaptive-redundancy migration traffic: promote/demote chunk
+	// moves between the replicated and EC chunk pools and hot-object
+	// recaches issued by the tiering policy daemon.
+	Tiering
 	// NumClasses bounds the class enum; not a valid class.
 	NumClasses
 )
 
-var classNames = [NumClasses]string{"client", "dedup", "recovery", "scrub", "gc"}
+var classNames = [NumClasses]string{"client", "dedup", "recovery", "scrub", "gc", "tiering"}
 
 func (c Class) String() string {
 	if c < NumClasses {
@@ -115,6 +119,7 @@ func DefaultConfig() Config {
 	cfg.Classes[Recovery] = ClassConfig{Weight: 250, MaxDepth: 4}
 	cfg.Classes[Scrub] = ClassConfig{Weight: 100, MaxDepth: 2}
 	cfg.Classes[GC] = ClassConfig{Weight: 100, MaxDepth: 2}
+	cfg.Classes[Tiering] = ClassConfig{Weight: 100, MaxDepth: 2}
 	return cfg
 }
 

@@ -255,7 +255,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestClassString(t *testing.T) {
-	want := []string{"client", "dedup", "recovery", "scrub", "gc"}
+	want := []string{"client", "dedup", "recovery", "scrub", "gc", "tiering"}
 	if got := ClassNames(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("ClassNames() = %v, want %v", got, want)
 	}
